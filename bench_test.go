@@ -1,0 +1,273 @@
+// Benchmark harness: one benchmark per table and figure of the paper
+// (see DESIGN.md §4 for the experiment index), plus micro-benchmarks of
+// the algorithmic kernels. Run with:
+//
+//	go test -bench=. -benchmem
+package tegrecon
+
+import (
+	"math"
+	"testing"
+
+	"tegrecon/internal/array"
+	"tegrecon/internal/core"
+	"tegrecon/internal/drive"
+	"tegrecon/internal/experiments"
+	"tegrecon/internal/predict"
+	"tegrecon/internal/sim"
+	"tegrecon/internal/teg"
+)
+
+// benchSetup builds a Section VI setup over a shortened trace so each
+// benchmark iteration stays tractable.
+func benchSetup(b *testing.B, seconds float64) *experiments.Setup {
+	b.Helper()
+	s, err := experiments.DefaultSetup()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := drive.DefaultSynthConfig()
+	cfg.Duration = seconds
+	tr, err := drive.Synthesize(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Trace = tr
+	return s
+}
+
+// BenchmarkFig1ModuleCurves regenerates the Fig. 1 I–V / P–V family.
+func BenchmarkFig1ModuleCurves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1ModuleCurves(teg.TGM199, 25, 101); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5Prediction regenerates the Fig. 5 MLR/BPNN/SVR error
+// comparison over a 120 s excerpt.
+func BenchmarkFig5Prediction(b *testing.B) {
+	s := benchSetup(b, 120)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5PredictionError(s, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6PowerSeries regenerates the Fig. 6 four-scheme power
+// series over the 120 s window.
+func BenchmarkFig6PowerSeries(b *testing.B) {
+	s := benchSetup(b, 160)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6PowerSeries(s, 20, 140); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7PowerRatio regenerates the Fig. 7 ratio view (same runs
+// as Fig. 6 plus the normalisation pass).
+func BenchmarkFig7PowerRatio(b *testing.B) {
+	s := benchSetup(b, 160)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6PowerSeries(s, 20, 140)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := res.RatioSeries(); len(got) != 4 {
+			b.Fatal("missing scheme")
+		}
+	}
+}
+
+// benchTableIScheme times one Table I column over a 60 s excerpt.
+func benchTableIScheme(b *testing.B, build func(*experiments.Setup) (core.Controller, error)) {
+	b.Helper()
+	s := benchSetup(b, 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl, err := build(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run(s.Sys, s.Trace, ctrl, s.Opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.EnergyOutJ <= 0 {
+			b.Fatal("no energy harvested")
+		}
+	}
+}
+
+// BenchmarkTableI_DNOR times the DNOR column of Table I.
+func BenchmarkTableI_DNOR(b *testing.B) {
+	benchTableIScheme(b, func(s *experiments.Setup) (core.Controller, error) { return s.NewDNOR() })
+}
+
+// BenchmarkTableI_INOR times the INOR column of Table I.
+func BenchmarkTableI_INOR(b *testing.B) {
+	benchTableIScheme(b, func(s *experiments.Setup) (core.Controller, error) { return s.NewINOR() })
+}
+
+// BenchmarkTableI_EHTR times the EHTR column of Table I.
+func BenchmarkTableI_EHTR(b *testing.B) {
+	benchTableIScheme(b, func(s *experiments.Setup) (core.Controller, error) { return s.NewEHTR() })
+}
+
+// BenchmarkTableI_Baseline times the static-baseline column of Table I.
+func BenchmarkTableI_Baseline(b *testing.B) {
+	benchTableIScheme(b, func(s *experiments.Setup) (core.Controller, error) { return s.NewBaseline() })
+}
+
+// decayTemps builds the synthetic radiator profile used by the kernel
+// benchmarks.
+func decayTemps(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 38 + 54*math.Exp(-3*float64(i)/float64(n))
+	}
+	return out
+}
+
+// benchDecide times a single controller invocation at array size n —
+// the Ext-A scaling study (Table I "Average Runtime" and the O(N) vs
+// O(N³) claim).
+func benchDecide(b *testing.B, n int, ehtr bool) {
+	b.Helper()
+	sys := sim.DefaultSystem()
+	eval, err := core.NewEvaluator(sys.Spec, sys.Conv)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ctrl core.Controller
+	if ehtr {
+		ctrl, err = core.NewEHTR(eval)
+	} else {
+		ctrl, err = core.NewINOR(eval)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	temps := decayTemps(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctrl.Decide(i, temps, 25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScalingINOR_N100 …N800 sweep the O(N) algorithm.
+func BenchmarkScalingINOR_N100(b *testing.B) { benchDecide(b, 100, false) }
+
+// BenchmarkScalingINOR_N400 is the 400-module point.
+func BenchmarkScalingINOR_N400(b *testing.B) { benchDecide(b, 400, false) }
+
+// BenchmarkScalingINOR_N800 is the 800-module point.
+func BenchmarkScalingINOR_N800(b *testing.B) { benchDecide(b, 800, false) }
+
+// BenchmarkScalingEHTR_N100 …N400 sweep the O(N³) reconstruction.
+func BenchmarkScalingEHTR_N100(b *testing.B) { benchDecide(b, 100, true) }
+
+// BenchmarkScalingEHTR_N200 is the 200-module point.
+func BenchmarkScalingEHTR_N200(b *testing.B) { benchDecide(b, 200, true) }
+
+// BenchmarkScalingEHTR_N400 is the 400-module point.
+func BenchmarkScalingEHTR_N400(b *testing.B) { benchDecide(b, 400, true) }
+
+// BenchmarkHorizonAblation runs the Ext-B tp sweep over a short trace.
+func BenchmarkHorizonAblation(b *testing.B) {
+	s := benchSetup(b, 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.HorizonAblation(s, []int{1, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMLRObservePredict times one control tick of the paper's
+// selected predictor on a 100-module distribution.
+func BenchmarkMLRObservePredict(b *testing.B) {
+	mlr, err := predict.NewMLR(predict.DefaultMLROptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	temps := decayTemps(100)
+	// Warm up past Ready.
+	for i := 0; i < 10; i++ {
+		if err := mlr.Observe(temps); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := mlr.Observe(temps); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mlr.Predict(4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkArrayEquivalent times the per-candidate equivalent-circuit
+// evaluation that dominates the inner loop of both INOR and EHTR.
+func BenchmarkArrayEquivalent(b *testing.B) {
+	arr, err := array.New(teg.TGM199, teg.OpsFromTemps(decayTemps(100), 25))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg, err := array.Uniform(100, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := arr.Equivalent(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluatorBest times the converter-weighted MPP search used
+// to price every candidate configuration.
+func BenchmarkEvaluatorBest(b *testing.B) {
+	sys := sim.DefaultSystem()
+	eval, err := core.NewEvaluator(sys.Spec, sys.Conv)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arr, err := array.New(sys.Spec, teg.OpsFromTemps(decayTemps(100), 25))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg, err := array.Uniform(100, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Best(arr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFaultStudy runs the Ext-E fault-tolerance study over a short
+// trace.
+func BenchmarkFaultStudy(b *testing.B) {
+	s := benchSetup(b, 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FaultStudy(s, 10, int64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

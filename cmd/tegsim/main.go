@@ -1,0 +1,116 @@
+// Command tegsim reproduces Table I of the paper end to end: it
+// synthesises the 800 s drive trace, runs DNOR, INOR, EHTR and the
+// static 10×10 baseline over the 100-module radiator system, and prints
+// the energy / overhead / runtime comparison with the paper's headline
+// ratios.
+//
+// Usage:
+//
+//	tegsim [-duration 800] [-modules 100] [-seed 42] [-tick 0.5] [-horizon 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tegrecon/internal/drive"
+	"tegrecon/internal/experiments"
+	"tegrecon/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tegsim: ")
+	var (
+		duration = flag.Float64("duration", 800, "drive duration in seconds")
+		modules  = flag.Int("modules", 100, "TEG module count")
+		seed     = flag.Int64("seed", 42, "drive-trace random seed")
+		tick     = flag.Float64("tick", 0.5, "control period in seconds")
+		horizon  = flag.Int("horizon", 4, "DNOR prediction horizon in ticks")
+		study    = flag.String("study", "table1", "study to run: table1, faults, seeds, margins, bank, horizon or predictors")
+		failures = flag.Int("failures", 15, "module failures for -study faults")
+		seeds    = flag.Int("seeds", 5, "trace count for -study seeds")
+		format   = flag.String("format", "text", "output format: text, csv or json")
+	)
+	flag.Parse()
+
+	setup, err := experiments.DefaultSetup()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := drive.DefaultSynthConfig()
+	cfg.Duration = *duration
+	cfg.Seed = *seed
+	tr, err := drive.Synthesize(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	setup.Trace = tr
+	setup.Sys.Modules = *modules
+	setup.Opts.TickSeconds = *tick
+	setup.HorizonTicks = *horizon
+
+	var tab *report.Table
+	var trailer string
+	switch *study {
+	case "table1":
+		res, err := experiments.TableI(setup)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *format == "text" {
+			fmt.Printf("TEG reconfiguration comparison — %d modules, %.0f s drive, %.1f s control period\n\n",
+				*modules, *duration, *tick)
+			fmt.Print(res.Render())
+			return
+		}
+		tab = report.FromTableI(res)
+	case "faults":
+		pts, err := experiments.FaultStudy(setup, *failures, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tab = report.FromFaultStudy(pts)
+	case "seeds":
+		res, err := experiments.SeedSweep(setup, *seeds, *duration)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tab = report.FromSeedSweep(res)
+	case "margins":
+		pts, err := experiments.MarginAblation(setup, []float64{0, 0.25, 0.5, 1, 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tab = report.FromMargins(pts)
+		trailer = "margin 0 is the paper's Algorithm 2 rule"
+	case "bank":
+		pts, err := experiments.BankStudy(setup, 5, []float64{0, 0.2, 0.4, 0.6})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tab = report.FromBank(pts)
+	case "horizon":
+		pts, err := experiments.HorizonAblation(setup, []int{1, 2, 4, 6, 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tab = report.FromHorizon(pts)
+	case "predictors":
+		pts, err := experiments.PredictorAblation(setup)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tab = report.FromPredictors(pts)
+	default:
+		log.Fatalf("unknown study %q", *study)
+	}
+	if err := tab.Write(os.Stdout, report.Format(*format)); err != nil {
+		log.Fatal(err)
+	}
+	if trailer != "" && *format == "text" {
+		fmt.Println(trailer)
+	}
+}

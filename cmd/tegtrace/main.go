@@ -1,0 +1,72 @@
+// Command tegtrace generates or inspects synthetic drive traces (the
+// substitute for the paper's measured Hyundai Porter II log).
+//
+// Usage:
+//
+//	tegtrace                       # write an 800 s trace as CSV to stdout
+//	tegtrace -duration 120 -seed 7 # shorter trace, different seed
+//	tegtrace -summary              # print channel statistics instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tegrecon/internal/drive"
+	"tegrecon/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tegtrace: ")
+	var (
+		duration  = flag.Float64("duration", 800, "trace duration (s)")
+		dt        = flag.Float64("dt", 0.5, "sample period (s)")
+		seed      = flag.Int64("seed", 42, "random seed")
+		ambient   = flag.Float64("ambient", 25, "ambient temperature (°C)")
+		coldStart = flag.Bool("cold", false, "start with a cold engine")
+		summary   = flag.Bool("summary", false, "print per-channel statistics instead of CSV")
+		cycle     = flag.String("cycle", "urban", "speed profile: urban, highway or mixed")
+	)
+	flag.Parse()
+
+	cfg := drive.DefaultSynthConfig()
+	cfg.Duration = *duration
+	cfg.DT = *dt
+	cfg.Seed = *seed
+	cfg.AmbientC = *ambient
+	cfg.WarmStart = !*coldStart
+	switch *cycle {
+	case "urban":
+		cfg.Cycle = drive.Urban
+	case "highway":
+		cfg.Cycle = drive.Highway
+	case "mixed":
+		cfg.Cycle = drive.Mixed
+	default:
+		log.Fatalf("unknown cycle %q", *cycle)
+	}
+
+	tr, err := drive.Synthesize(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*summary {
+		if err := tr.WriteCSV(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("%d samples over %.0f s\n", tr.Len(), tr.Duration())
+	for _, ch := range tr.Channels {
+		col, _ := tr.Column(ch)
+		s, err := stats.Summarize(col)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s mean %8.3f  std %7.3f  min %8.3f  max %8.3f\n",
+			ch, s.Mean, s.Std, s.Min, s.Max)
+	}
+}

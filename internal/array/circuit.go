@@ -1,0 +1,255 @@
+package array
+
+import (
+	"fmt"
+	"math"
+
+	"tegrecon/internal/teg"
+)
+
+// GroupEquivalent is the Thevenin equivalent of one parallel group:
+// output voltage V(I) = Voc − I·R for the group as a two-terminal source.
+type GroupEquivalent struct {
+	Voc float64 // equivalent open-circuit voltage, V
+	R   float64 // equivalent source resistance, Ω
+}
+
+// Equivalent is the Thevenin equivalent of a whole configuration: the
+// series chain of group equivalents plus per-group data needed to
+// recover module currents. Broken reports that some series group has no
+// conducting module at all (every member failed open), interrupting the
+// whole chain.
+type Equivalent struct {
+	Voc    float64 // Σ group Voc, V
+	R      float64 // Σ group R, Ω
+	Broken bool
+	Groups []GroupEquivalent
+}
+
+// Array binds a module spec to the per-module thermal operating points
+// and answers electrical questions about configurations. It is a value
+// type: build one per control step from the freshly sensed temperatures.
+// Health, when non-nil, carries per-module failure states (see
+// health.go); nil means all modules healthy.
+type Array struct {
+	Spec   teg.ModuleSpec
+	Ops    []teg.OperatingPoint
+	Health []ModuleHealth
+}
+
+// New assembles an Array after validating the spec.
+func New(spec teg.ModuleSpec, ops []teg.OperatingPoint) (*Array, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("array: no operating points")
+	}
+	return &Array{Spec: spec, Ops: ops}, nil
+}
+
+// N returns the module count.
+func (a *Array) N() int { return len(a.Ops) }
+
+// MPPCurrents returns I_MPP,i for every module — the input to
+// Algorithm 1. Failed modules contribute zero (they cannot source
+// current at any operating point).
+func (a *Array) MPPCurrents() []float64 {
+	out := make([]float64, len(a.Ops))
+	for i, op := range a.Ops {
+		if a.healthOf(i) == Healthy {
+			out[i] = a.Spec.MPPCurrent(op)
+		}
+	}
+	return out
+}
+
+// IdealPower returns P_ideal = Σ module MPP powers over the healthy
+// modules (Fig. 7 normaliser).
+func (a *Array) IdealPower() float64 {
+	if a.Health == nil {
+		return a.Spec.IdealPower(a.Ops)
+	}
+	sum := 0.0
+	for i, op := range a.Ops {
+		if a.healthOf(i) == Healthy {
+			sum += a.Spec.MaxPowerPoint(op).Power
+		}
+	}
+	return sum
+}
+
+// Equivalent computes the Thevenin equivalent of cfg.
+//
+// Modules of a group share their terminal voltage V_g; solving the node
+// equation Σᵢ (Voc,i − V_g)/Rᵢ = I gives
+//
+//	V_g(I) = (Σ Voc,i/Rᵢ − I) / (Σ 1/Rᵢ)
+//
+// i.e. Voc_g = (Σ Voc,i/Rᵢ)/(Σ 1/Rᵢ) and R_g = 1/(Σ 1/Rᵢ). Groups in
+// series add voltages and resistances.
+func (a *Array) Equivalent(cfg Config) (Equivalent, error) {
+	if cfg.N != a.N() {
+		return Equivalent{}, fmt.Errorf("array: config for %d modules applied to %d", cfg.N, a.N())
+	}
+	if err := cfg.Validate(); err != nil {
+		return Equivalent{}, err
+	}
+	eq := Equivalent{Groups: make([]GroupEquivalent, cfg.Groups())}
+	for j := range eq.Groups {
+		lo, hi := cfg.GroupBounds(j)
+		sumG, sumVG := 0.0, 0.0 // Σ 1/R, Σ Voc/R
+		for i := lo; i < hi; i++ {
+			gi, vgi, conducts := a.contribution(i)
+			if !conducts {
+				continue
+			}
+			sumG += gi
+			sumVG += vgi
+		}
+		if sumG == 0 {
+			// Every module of the group failed open: the series chain
+			// is interrupted and the array cannot deliver current.
+			eq.Broken = true
+			eq.Voc = 0
+			eq.R = 0
+			return eq, nil
+		}
+		g := GroupEquivalent{Voc: sumVG / sumG, R: 1 / sumG}
+		eq.Groups[j] = g
+		eq.Voc += g.Voc
+		eq.R += g.R
+	}
+	return eq, nil
+}
+
+// VoltageAt returns the array terminal voltage at output current i.
+func (e Equivalent) VoltageAt(i float64) float64 { return e.Voc - i*e.R }
+
+// PowerAt returns the array output power at output current i.
+func (e Equivalent) PowerAt(i float64) float64 { return e.VoltageAt(i) * i }
+
+// MPP returns the unconstrained array maximum power point
+// (I = Voc/2R, P = Voc²/4R).
+func (e Equivalent) MPP() teg.MPP {
+	return teg.MPP{
+		Voltage: e.Voc / 2,
+		Current: e.Voc / (2 * e.R),
+		Power:   e.Voc * e.Voc / (4 * e.R),
+	}
+}
+
+// ModuleCurrents returns the current through every module when the array
+// delivers output current i under cfg. Within group j the module m
+// carries (Voc,m − V_g)·g_m with V_g = Voc_g − i·R_g; failed-open
+// modules carry nothing and failed-short modules sink −V_g/R_short. A
+// broken chain (see Equivalent.Broken) carries zero everywhere.
+func (a *Array) ModuleCurrents(cfg Config, iOut float64) ([]float64, error) {
+	eq, err := a.Equivalent(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, a.N())
+	if eq.Broken {
+		return out, nil
+	}
+	for j, g := range eq.Groups {
+		vg := g.Voc - iOut*g.R
+		lo, hi := cfg.GroupBounds(j)
+		for m := lo; m < hi; m++ {
+			gm, vgm, conducts := a.contribution(m)
+			if !conducts {
+				continue
+			}
+			out[m] = vgm - vg*gm
+		}
+	}
+	return out, nil
+}
+
+// HasReverseCurrent reports whether any module would be driven below
+// zero current (absorbing power — the failure mode of Fig. 3) when the
+// array delivers iOut under cfg.
+func (a *Array) HasReverseCurrent(cfg Config, iOut float64) (bool, error) {
+	currents, err := a.ModuleCurrents(cfg, iOut)
+	if err != nil {
+		return false, err
+	}
+	for _, c := range currents {
+		if c < -1e-9 {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// PowerAtCurrent returns the array output power at current iOut under
+// cfg (may be negative past short circuit).
+func (a *Array) PowerAtCurrent(cfg Config, iOut float64) (float64, error) {
+	eq, err := a.Equivalent(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return eq.PowerAt(iOut), nil
+}
+
+// ArrayMPP returns the unconstrained maximum power point of cfg.
+func (a *Array) ArrayMPP(cfg Config) (teg.MPP, error) {
+	eq, err := a.Equivalent(cfg)
+	if err != nil {
+		return teg.MPP{}, err
+	}
+	return eq.MPP(), nil
+}
+
+// MismatchLoss returns 1 − P_MPP(cfg)/P_ideal: the fraction of the ideal
+// power lost to series/parallel mismatch under cfg, before converter
+// losses. Zero means every module sits exactly at its MPP.
+func (a *Array) MismatchLoss(cfg Config) (float64, error) {
+	mpp, err := a.ArrayMPP(cfg)
+	if err != nil {
+		return 0, err
+	}
+	ideal := a.IdealPower()
+	if ideal <= 0 {
+		return 0, nil
+	}
+	loss := 1 - mpp.Power/ideal
+	if loss < 0 {
+		// Guard against floating-point jitter; the array MPP can never
+		// beat the sum of individual MPPs.
+		if loss < -1e-9 {
+			return 0, fmt.Errorf("array: MPP %g exceeds ideal %g", mpp.Power, ideal)
+		}
+		loss = 0
+	}
+	return loss, nil
+}
+
+// EnergyConservationCheck verifies that at output current i the power
+// delivered by the array equals Σ module V·I minus nothing (parallel
+// wiring is lossless in this model). Returns the relative discrepancy;
+// used by tests and the simulator's self-check mode.
+func (a *Array) EnergyConservationCheck(cfg Config, iOut float64) (float64, error) {
+	eq, err := a.Equivalent(cfg)
+	if err != nil {
+		return 0, err
+	}
+	if eq.Broken {
+		return 0, nil
+	}
+	currents, err := a.ModuleCurrents(cfg, iOut)
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for m, im := range currents {
+		// Each conducting module's terminal sits at its group voltage;
+		// failed-short modules therefore contribute negative power.
+		vg := eq.Groups[cfg.GroupOf(m)].Voc - iOut*eq.Groups[cfg.GroupOf(m)].R
+		sum += vg * im
+	}
+	pArr := eq.PowerAt(iOut)
+	scale := math.Max(math.Abs(pArr), 1e-9)
+	return math.Abs(sum-pArr) / scale, nil
+}

@@ -1,0 +1,69 @@
+// Package battery models the lead-acid vehicle battery that terminates
+// the harvesting chain: a 13.8 V float-charged 12 V battery that accepts
+// the charger output and integrates harvested energy.
+package battery
+
+import (
+	"fmt"
+	"math"
+)
+
+// LeadAcid is a simple state-of-charge integrating model of a 12 V
+// automotive lead-acid battery.
+type LeadAcid struct {
+	// CapacityWh is the usable capacity in watt-hours.
+	CapacityWh float64
+	// SoC is the state of charge in [0, 1].
+	SoC float64
+	// ChargeEff is the coulombic/energy efficiency of charging (0–1).
+	ChargeEff float64
+	// FloatVoltage is the charger target, 13.8 V for the paper's system.
+	FloatVoltage float64
+	// absorbed tracks total accepted energy in joules.
+	absorbed float64
+}
+
+// NewLeadAcid returns a 60 Ah-class (720 Wh) battery at the given
+// initial state of charge.
+func NewLeadAcid(initialSoC float64) (*LeadAcid, error) {
+	if initialSoC < 0 || initialSoC > 1 {
+		return nil, fmt.Errorf("battery: initial SoC %g outside [0,1]", initialSoC)
+	}
+	return &LeadAcid{
+		CapacityWh:   720,
+		SoC:          initialSoC,
+		ChargeEff:    0.90,
+		FloatVoltage: 13.8,
+	}, nil
+}
+
+// OpenCircuitVoltage returns the rest voltage as a function of state of
+// charge (the standard 11.8–12.7 V lead-acid window).
+func (b *LeadAcid) OpenCircuitVoltage() float64 {
+	return 11.8 + 0.9*b.SoC
+}
+
+// ChargingVoltage returns the terminal voltage while being charged —
+// the charger regulates to the float voltage.
+func (b *LeadAcid) ChargingVoltage() float64 { return b.FloatVoltage }
+
+// Accept integrates power watts over dt seconds into the battery,
+// respecting capacity, and returns the energy actually stored (J).
+func (b *LeadAcid) Accept(power, dt float64) (float64, error) {
+	if power < 0 || dt < 0 {
+		return 0, fmt.Errorf("battery: negative power %g or dt %g", power, dt)
+	}
+	in := power * dt * b.ChargeEff
+	capJ := b.CapacityWh * 3600
+	room := (1 - b.SoC) * capJ
+	stored := math.Min(in, room)
+	b.SoC += stored / capJ
+	b.absorbed += stored
+	return stored, nil
+}
+
+// AbsorbedJoules returns the total energy stored since construction.
+func (b *LeadAcid) AbsorbedJoules() float64 { return b.absorbed }
+
+// Full reports whether the battery cannot accept more charge.
+func (b *LeadAcid) Full() bool { return b.SoC >= 1-1e-12 }

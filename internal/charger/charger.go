@@ -1,0 +1,101 @@
+// Package charger implements the three-stage lead-acid charging profile
+// (bulk / absorption / float) that schedules the converter's output
+// voltage as the battery fills. The paper fixes the charging voltage at
+// 13.8 V (float); this package generalises that to the full automotive
+// charging strategy so long-duration simulations with a battery in the
+// loop regulate realistically.
+package charger
+
+import "fmt"
+
+// Stage is a charging stage.
+type Stage int
+
+const (
+	// Bulk: battery well below full, maximum-power charging at the
+	// elevated bulk voltage.
+	Bulk Stage = iota
+	// Absorption: battery nearly full, held at the absorption voltage
+	// while current tapers.
+	Absorption
+	// Float: battery full, trickle at the float voltage (the paper's
+	// 13.8 V operating point).
+	Float
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case Bulk:
+		return "bulk"
+	case Absorption:
+		return "absorption"
+	case Float:
+		return "float"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// Profile is a three-stage voltage schedule over state of charge.
+type Profile struct {
+	// BulkV/AbsorptionV/FloatV are the stage target voltages.
+	BulkV, AbsorptionV, FloatV float64
+	// AbsorptionSoC and FloatSoC are the stage entry thresholds.
+	AbsorptionSoC, FloatSoC float64
+}
+
+// DefaultProfile returns the standard 12 V lead-acid schedule: 14.4 V
+// bulk/absorption, 13.8 V float (the paper's charging voltage), with
+// absorption from 80% and float from 95% state of charge.
+func DefaultProfile() Profile {
+	return Profile{
+		BulkV:         14.4,
+		AbsorptionV:   14.4,
+		FloatV:        13.8,
+		AbsorptionSoC: 0.80,
+		FloatSoC:      0.95,
+	}
+}
+
+// Validate rejects inconsistent schedules.
+func (p Profile) Validate() error {
+	if p.BulkV <= 0 || p.AbsorptionV <= 0 || p.FloatV <= 0 {
+		return fmt.Errorf("charger: non-positive stage voltage in %+v", p)
+	}
+	if p.FloatV > p.AbsorptionV {
+		return fmt.Errorf("charger: float voltage %g above absorption %g", p.FloatV, p.AbsorptionV)
+	}
+	if p.AbsorptionSoC <= 0 || p.AbsorptionSoC >= 1 {
+		return fmt.Errorf("charger: absorption threshold %g outside (0,1)", p.AbsorptionSoC)
+	}
+	if p.FloatSoC <= p.AbsorptionSoC || p.FloatSoC > 1 {
+		return fmt.Errorf("charger: float threshold %g not in (%g, 1]", p.FloatSoC, p.AbsorptionSoC)
+	}
+	return nil
+}
+
+// StageFor returns the active stage at a state of charge.
+func (p Profile) StageFor(soc float64) Stage {
+	switch {
+	case soc >= p.FloatSoC:
+		return Float
+	case soc >= p.AbsorptionSoC:
+		return Absorption
+	default:
+		return Bulk
+	}
+}
+
+// TargetVoltage returns the converter output-voltage command at a state
+// of charge.
+func (p Profile) TargetVoltage(soc float64) float64 {
+	switch p.StageFor(soc) {
+	case Float:
+		return p.FloatV
+	case Absorption:
+		return p.AbsorptionV
+	default:
+		return p.BulkV
+	}
+}

@@ -1,0 +1,77 @@
+package charger
+
+import "testing"
+
+func TestDefaultProfileValid(t *testing.T) {
+	if err := DefaultProfile().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := DefaultProfile()
+	cases := []struct {
+		name   string
+		mutate func(*Profile)
+	}{
+		{"zero-volt", func(p *Profile) { p.FloatV = 0 }},
+		{"float-above-absorption", func(p *Profile) { p.FloatV = 15 }},
+		{"absorption-soc", func(p *Profile) { p.AbsorptionSoC = 0 }},
+		{"float-soc", func(p *Profile) { p.FloatSoC = 0.5 }},
+		{"float-soc-high", func(p *Profile) { p.FloatSoC = 1.5 }},
+	}
+	for _, tc := range cases {
+		p := base
+		tc.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestStageTransitions(t *testing.T) {
+	p := DefaultProfile()
+	cases := []struct {
+		soc  float64
+		want Stage
+	}{
+		{0.0, Bulk},
+		{0.5, Bulk},
+		{0.79, Bulk},
+		{0.80, Absorption},
+		{0.90, Absorption},
+		{0.95, Float},
+		{1.0, Float},
+	}
+	for _, tc := range cases {
+		if got := p.StageFor(tc.soc); got != tc.want {
+			t.Errorf("StageFor(%v) = %v, want %v", tc.soc, got, tc.want)
+		}
+	}
+}
+
+func TestTargetVoltageFollowsStages(t *testing.T) {
+	p := DefaultProfile()
+	if v := p.TargetVoltage(0.2); v != p.BulkV {
+		t.Errorf("bulk voltage %v", v)
+	}
+	if v := p.TargetVoltage(0.85); v != p.AbsorptionV {
+		t.Errorf("absorption voltage %v", v)
+	}
+	if v := p.TargetVoltage(0.99); v != p.FloatV {
+		t.Errorf("float voltage %v", v)
+	}
+	// The paper's operating point: float at 13.8 V.
+	if p.FloatV != 13.8 {
+		t.Errorf("float voltage %v, want 13.8", p.FloatV)
+	}
+}
+
+func TestStageString(t *testing.T) {
+	if Bulk.String() != "bulk" || Absorption.String() != "absorption" || Float.String() != "float" {
+		t.Error("stage names wrong")
+	}
+	if Stage(9).String() == "" {
+		t.Error("unknown stage should format")
+	}
+}

@@ -1,0 +1,170 @@
+package converter
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLTM4607Valid(t *testing.T) {
+	if err := LTM4607().Validate(); err != nil {
+		t.Fatalf("reference model invalid: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := LTM4607()
+	cases := []struct {
+		name   string
+		mutate func(*Model)
+	}{
+		{"vout", func(m *Model) { m.OutputVoltage = 0 }},
+		{"peak-high", func(m *Model) { m.PeakEff = 1.2 }},
+		{"peak-zero", func(m *Model) { m.PeakEff = 0 }},
+		{"floor-above-peak", func(m *Model) { m.FloorEff = 0.99 }},
+		{"floor-negative", func(m *Model) { m.FloorEff = -0.1 }},
+		{"spread", func(m *Model) { m.Spread = -1 }},
+		{"range", func(m *Model) { m.MinInput = 10; m.MaxInput = 5 }},
+		{"min-zero", func(m *Model) { m.MinInput = 0 }},
+	}
+	for _, tc := range cases {
+		m := base
+		tc.mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestEfficiencyPeaksAtOutputVoltage(t *testing.T) {
+	m := LTM4607()
+	peak := m.Efficiency(m.OutputVoltage)
+	if math.Abs(peak-m.PeakEff) > 1e-12 {
+		t.Errorf("η(Vout) = %v, want %v", peak, m.PeakEff)
+	}
+	for _, vin := range []float64{5, 8, 11, 17, 24, 33} {
+		if e := m.Efficiency(vin); e > peak {
+			t.Errorf("η(%v) = %v exceeds peak %v", vin, e, peak)
+		}
+	}
+}
+
+func TestEfficiencyZeroOutsideRange(t *testing.T) {
+	m := LTM4607()
+	if m.Efficiency(m.MinInput-0.1) != 0 {
+		t.Error("below MinInput should be 0")
+	}
+	if m.Efficiency(m.MaxInput+0.1) != 0 {
+		t.Error("above MaxInput should be 0")
+	}
+	if m.Efficiency(m.MinInput) == 0 {
+		t.Error("at MinInput the converter runs")
+	}
+}
+
+func TestEfficiencySymmetricInRatio(t *testing.T) {
+	// η at Vout·k equals η at Vout/k (log-quadratic symmetry) as long
+	// as both stay in range and above the floor.
+	m := LTM4607()
+	for _, k := range []float64{1.2, 1.5, 2.0} {
+		hi := m.Efficiency(m.OutputVoltage * k)
+		lo := m.Efficiency(m.OutputVoltage / k)
+		if math.Abs(hi-lo) > 1e-12 {
+			t.Errorf("asymmetric: η(×%v)=%v η(/%v)=%v", k, hi, k, lo)
+		}
+	}
+}
+
+func TestEfficiencyFloorApplies(t *testing.T) {
+	m := LTM4607()
+	m.Spread = 10 // absurdly steep
+	if e := m.Efficiency(5); e != m.FloorEff {
+		t.Errorf("floor not applied: %v", e)
+	}
+}
+
+func TestEfficiencyBoundsProperty(t *testing.T) {
+	m := LTM4607()
+	f := func(vin float64) bool {
+		if math.IsNaN(vin) || math.IsInf(vin, 0) {
+			return true
+		}
+		e := m.Efficiency(math.Abs(vin))
+		return e >= 0 && e <= m.PeakEff
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutputPower(t *testing.T) {
+	m := LTM4607()
+	p := m.OutputPower(13.8, 100)
+	if math.Abs(p-98) > 1e-9 {
+		t.Errorf("output = %v, want 98", p)
+	}
+	if m.OutputPower(13.8, -5) != 0 {
+		t.Error("negative input power should yield 0")
+	}
+	if m.OutputPower(2, 100) != 0 {
+		t.Error("out-of-range input voltage should yield 0")
+	}
+}
+
+func TestGroupCountWindow(t *testing.T) {
+	m := LTM4607()
+	// Typical group MPP voltage ~1.5 V: need ≥3 groups for 4.5 V, at
+	// most 24 for 36 V.
+	nmin, nmax, err := m.GroupCountWindow(1.5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmin != 3 || nmax != 24 {
+		t.Errorf("window = [%d, %d], want [3, 24]", nmin, nmax)
+	}
+}
+
+func TestGroupCountWindowClampsToModules(t *testing.T) {
+	m := LTM4607()
+	_, nmax, err := m.GroupCountWindow(1.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmax != 10 {
+		t.Errorf("nmax = %d, want clamp to 10", nmax)
+	}
+}
+
+func TestGroupCountWindowInfeasible(t *testing.T) {
+	m := LTM4607()
+	// Enormous group voltage: even one group exceeds MaxInput.
+	if _, _, err := m.GroupCountWindow(50, 100); err == nil {
+		t.Error("expected infeasible window")
+	}
+	if _, _, err := m.GroupCountWindow(0, 100); err == nil {
+		t.Error("zero group voltage should error")
+	}
+	if _, _, err := m.GroupCountWindow(1.5, 0); err == nil {
+		t.Error("zero max groups should error")
+	}
+	// Tiny group voltage but tiny module budget: nmin > maxGroups.
+	if _, _, err := m.GroupCountWindow(1.5, 2); err == nil {
+		t.Error("nmin above module budget should error")
+	}
+}
+
+func TestWindowVoltagesInRange(t *testing.T) {
+	m := LTM4607()
+	for _, vg := range []float64{0.8, 1.2, 1.9, 3.0} {
+		nmin, nmax, err := m.GroupCountWindow(vg, 1000)
+		if err != nil {
+			t.Fatalf("vg=%v: %v", vg, err)
+		}
+		if lo := float64(nmin) * vg; lo < m.MinInput-1e-9 {
+			t.Errorf("vg=%v: stacked nmin voltage %v below MinInput", vg, lo)
+		}
+		if hi := float64(nmax) * vg; hi > m.MaxInput+1e-9 {
+			t.Errorf("vg=%v: stacked nmax voltage %v above MaxInput", vg, hi)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package core implements the paper's contribution: the O(N)
+// Instantaneous Near-Optimal Reconfiguration algorithm (INOR,
+// Algorithm 1), the prediction-incorporated Durable Near-Optimal
+// Reconfiguration algorithm (DNOR, Algorithm 2), a reconstruction of the
+// prior-work Efficient Heuristic TEG Reconfiguration (EHTR, Baek et al.
+// ISLPED'17) used as the comparison point, and the static baseline
+// configuration — all behind a common Controller interface the
+// simulator drives.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tegrecon/internal/array"
+	"tegrecon/internal/converter"
+	"tegrecon/internal/teg"
+	"tegrecon/internal/units"
+)
+
+// Evaluator prices candidate configurations: it finds the operating
+// current that maximises the power *delivered through the converter*
+// (not the raw array MPP — Section III.B's efficiency argument), and
+// flags reverse-current violations.
+type Evaluator struct {
+	Spec teg.ModuleSpec
+	Conv converter.Model
+}
+
+// NewEvaluator validates and builds an evaluator.
+func NewEvaluator(spec teg.ModuleSpec, conv converter.Model) (*Evaluator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := conv.Validate(); err != nil {
+		return nil, err
+	}
+	return &Evaluator{Spec: spec, Conv: conv}, nil
+}
+
+// Operating describes the best feasible operating point of one
+// configuration.
+type Operating struct {
+	Current   float64 // array output current, A
+	Voltage   float64 // array terminal voltage, V
+	ArrayW    float64 // power leaving the array, W
+	Delivered float64 // power after the converter, W
+	Reverse   bool    // a module is reverse-driven at this point
+}
+
+// Best locates the delivered-power maximum of cfg on the given array.
+// The search is a coarse scan refined by golden section, robust to the
+// converter's input-window cliff; currents that reverse-drive any module
+// are excluded unless nothing else is feasible.
+func (e *Evaluator) Best(arr *array.Array, cfg array.Config) (Operating, error) {
+	eq, err := arr.Equivalent(cfg)
+	if err != nil {
+		return Operating{}, err
+	}
+	if eq.Voc <= 0 {
+		return Operating{}, nil
+	}
+	isc := eq.Voc / eq.R
+	delivered := func(i float64) float64 {
+		v := eq.VoltageAt(i)
+		return e.Conv.OutputPower(v, v*i)
+	}
+	// Coarse scan to bracket the global maximum.
+	const coarse = 64
+	bestI, bestP := 0.0, 0.0
+	for k := 0; k <= coarse; k++ {
+		i := isc * float64(k) / coarse
+		if p := delivered(i); p > bestP {
+			bestP, bestI = p, i
+		}
+	}
+	if bestP <= 0 {
+		// Converter cannot run anywhere on this curve.
+		return Operating{Reverse: false}, nil
+	}
+	lo := math.Max(0, bestI-isc/coarse)
+	hi := math.Min(isc, bestI+isc/coarse)
+	i, p := units.GoldenMax(delivered, lo, hi, isc*1e-7)
+	rev, err := arr.HasReverseCurrent(cfg, i)
+	if err != nil {
+		return Operating{}, err
+	}
+	v := eq.VoltageAt(i)
+	return Operating{
+		Current:   i,
+		Voltage:   v,
+		ArrayW:    v * i,
+		Delivered: p,
+		Reverse:   rev,
+	}, nil
+}
+
+// GroupWindow derives Algorithm 1's [nmin, nmax] from the converter's
+// usable input band and the array's typical per-group MPP voltage (a
+// balanced parallel group of k modules keeps its MPP voltage near the
+// mean module Voc/2, independent of k).
+func (e *Evaluator) GroupWindow(arr *array.Array) (nmin, nmax int, err error) {
+	mean := 0.0
+	for _, op := range arr.Ops {
+		mean += e.Spec.Voc(op)
+	}
+	mean /= float64(arr.N())
+	vGroup := mean / 2
+	if vGroup <= 0 {
+		return 0, 0, fmt.Errorf("core: array has no EMF (all modules at ambient)")
+	}
+	return e.Conv.GroupCountWindow(vGroup, arr.N())
+}
+
+// Decision is a controller's output for one control period.
+type Decision struct {
+	Config      array.Config  // configuration to apply for this period
+	Expected    float64       // controller's expected delivered power, W
+	Switched    bool          // topology differs from the previous period
+	ComputeTime time.Duration // measured algorithm runtime
+}
+
+// Controller is the common interface of INOR, DNOR, EHTR and the static
+// baseline. Decide is invoked once per control period with the sensed
+// per-module hot-side temperatures.
+type Controller interface {
+	// Name labels the scheme in reports ("DNOR", "INOR", …).
+	Name() string
+	// Decide returns the configuration for the coming period.
+	Decide(tick int, tempsC []float64, ambientC float64) (Decision, error)
+	// Reset clears internal state (history, previous configuration).
+	Reset()
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"tegrecon/internal/array"
+	"tegrecon/internal/teg"
+)
+
+// INOR is Algorithm 1 — Instantaneous Near-Optimal TEG Array
+// Reconfiguration. Given the sensed temperature distribution it computes
+// every module's MPP current, and for each feasible series-group count
+// n ∈ [nmin, nmax] (the converter-efficiency window of Section III.B)
+// greedily partitions the chain into groups of balanced summed MPP
+// current; the candidate with the highest converter-delivered MPP wins.
+// The partition is O(N) and the n-range is fixed by the converter, so
+// one invocation is O(N).
+type INOR struct {
+	eval *Evaluator
+	last *array.Config // previous decision, for Switched bookkeeping
+}
+
+// NewINOR builds the controller.
+func NewINOR(eval *Evaluator) (*INOR, error) {
+	if eval == nil {
+		return nil, fmt.Errorf("core: nil evaluator")
+	}
+	return &INOR{eval: eval}, nil
+}
+
+// Name implements Controller.
+func (c *INOR) Name() string { return "INOR" }
+
+// Reset implements Controller.
+func (c *INOR) Reset() { c.last = nil }
+
+// Decide implements Controller: a full reconfiguration every period.
+// Per Section VI, INOR "switches at every time point" — every decision
+// is a fabric reprogram (Switched is always true) even when the computed
+// topology happens to match the incumbent; that unconditional actuation
+// is exactly the overhead DNOR eliminates.
+func (c *INOR) Decide(tick int, tempsC []float64, ambientC float64) (Decision, error) {
+	start := time.Now()
+	cfg, op, err := c.eval.Configure(tempsC, ambientC)
+	if err != nil {
+		return Decision{}, err
+	}
+	d := Decision{
+		Config:      cfg,
+		Expected:    op.Delivered,
+		Switched:    true,
+		ComputeTime: time.Since(start),
+	}
+	c.last = &cfg
+	return d, nil
+}
+
+// Configure runs one INOR pass (the pure function INOR(Ti) of
+// Algorithm 1) and returns the winning configuration and its operating
+// point. It is exposed on Evaluator because DNOR reuses it verbatim.
+func (e *Evaluator) Configure(tempsC []float64, ambientC float64) (array.Config, Operating, error) {
+	ops := teg.OpsFromTemps(tempsC, ambientC)
+	arr, err := array.New(e.Spec, ops)
+	if err != nil {
+		return array.Config{}, Operating{}, err
+	}
+	return e.configureArray(arr, greedyPartition)
+}
+
+// configureArray searches the group-count window with the given
+// partition strategy; shared by INOR (greedy) and EHTR (DP).
+func (e *Evaluator) configureArray(arr *array.Array, partition func([]float64, int) ([]int, error)) (array.Config, Operating, error) {
+	nmin, nmax, err := e.GroupWindow(arr)
+	if err != nil {
+		// No EMF or no feasible window: park in the all-parallel
+		// configuration delivering nothing.
+		cfg := array.AllParallel(arr.N())
+		return cfg, Operating{}, nil
+	}
+	impp := arr.MPPCurrents()
+
+	var bestCfg, bestCleanCfg array.Config
+	var bestOp, bestCleanOp Operating
+	haveAny, haveClean := false, false
+	for n := nmin; n <= nmax; n++ {
+		starts, err := partition(impp, n)
+		if err != nil {
+			return array.Config{}, Operating{}, err
+		}
+		cfg, err := array.NewConfig(arr.N(), starts)
+		if err != nil {
+			return array.Config{}, Operating{}, err
+		}
+		op, err := e.Best(arr, cfg)
+		if err != nil {
+			return array.Config{}, Operating{}, err
+		}
+		if !haveAny || op.Delivered > bestOp.Delivered {
+			bestCfg, bestOp, haveAny = cfg, op, true
+		}
+		// The Fig. 3 current constraint: prefer configurations whose
+		// operating point drives no module in reverse.
+		if !op.Reverse && (!haveClean || op.Delivered > bestCleanOp.Delivered) {
+			bestCleanCfg, bestCleanOp, haveClean = cfg, op, true
+		}
+	}
+	if haveClean {
+		return bestCleanCfg, bestCleanOp, nil
+	}
+	if haveAny {
+		return bestCfg, bestOp, nil
+	}
+	cfg := array.AllParallel(arr.N())
+	return cfg, Operating{}, nil
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// prefixSums returns P with P[0]=0 and P[i] = Σ x[:i].
+func prefixSums(x []float64) []float64 {
+	p := make([]float64, len(x)+1)
+	for i, v := range x {
+		p[i+1] = p[i] + v
+	}
+	return p
+}
+
+// greedyPartition implements the inner loop of Algorithm 1: split the
+// module chain into n consecutive groups so that each group's summed MPP
+// current lands as close as possible to Iideal = total/n, scanning left
+// to right and placing each boundary at the prefix point nearest the
+// running target. O(N) via a monotone two-pointer walk over the prefix
+// sums. Every group receives at least one module.
+func greedyPartition(impp []float64, n int) ([]int, error) {
+	nMod := len(impp)
+	if n < 1 || n > nMod {
+		return nil, fmt.Errorf("core: partition into %d groups of %d modules", n, nMod)
+	}
+	starts := make([]int, n)
+	if n == 1 {
+		return starts, nil
+	}
+	p := prefixSums(impp)
+	iIdeal := p[nMod] / float64(n)
+	start := 0
+	for j := 1; j < n; j++ {
+		// Boundary candidates for the end (exclusive) of group j-1:
+		// must leave at least one module per remaining group.
+		loEnd := start + 1
+		hiEnd := nMod - (n - j)
+		target := p[start] + iIdeal
+		// Smallest end with cumulative sum ≥ target.
+		e := sort.SearchFloat64s(p[loEnd:hiEnd+1], target) + loEnd
+		if e > hiEnd {
+			e = hiEnd
+		}
+		// The closest of e and e−1 to the target.
+		if e > loEnd {
+			if target-p[e-1] <= p[e]-target {
+				e--
+			}
+		}
+		starts[j] = e
+		start = e
+	}
+	return starts, nil
+}
+
+// dpPartition is the exhaustive counterpart used by the EHTR
+// reconstruction: dynamic programming over all consecutive partitions
+// minimising Σ (groupSum − Iideal)². O(N²) per group count.
+func dpPartition(impp []float64, n int) ([]int, error) {
+	nMod := len(impp)
+	if n < 1 || n > nMod {
+		return nil, fmt.Errorf("core: partition into %d groups of %d modules", n, nMod)
+	}
+	starts := make([]int, n)
+	if n == 1 {
+		return starts, nil
+	}
+	p := prefixSums(impp)
+	iIdeal := p[nMod] / float64(n)
+	const inf = 1e300
+
+	// cost[j][e]: minimal Σ deviation² splitting modules [0,e) into j
+	// groups. Rolling rows keep memory O(N).
+	prev := make([]float64, nMod+1)
+	cur := make([]float64, nMod+1)
+	// choice[j][e] records the argmin start of the last group.
+	choice := make([][]int32, n+1)
+	for j := range choice {
+		choice[j] = make([]int32, nMod+1)
+	}
+	for e := 0; e <= nMod; e++ {
+		prev[e] = inf
+	}
+	prev[0] = 0
+	dev := func(s, e int) float64 {
+		d := p[e] - p[s] - iIdeal
+		return d * d
+	}
+	for j := 1; j <= n; j++ {
+		for e := 0; e <= nMod; e++ {
+			cur[e] = inf
+		}
+		// Group j covers [s, e): need s ≥ j−1 and e ≥ j.
+		for e := j; e <= nMod-(n-j); e++ {
+			best, bestS := inf, -1
+			for s := j - 1; s < e; s++ {
+				if prev[s] >= inf {
+					continue
+				}
+				if c := prev[s] + dev(s, e); c < best {
+					best, bestS = c, s
+				}
+			}
+			cur[e] = best
+			choice[j][e] = int32(bestS)
+		}
+		prev, cur = cur, prev
+	}
+	// Reconstruct boundaries.
+	e := nMod
+	for j := n; j >= 2; j-- {
+		s := int(choice[j][e])
+		if s < 0 {
+			return nil, fmt.Errorf("core: DP reconstruction failed at group %d", j)
+		}
+		starts[j-1] = s
+		e = s
+	}
+	return starts, nil
+}
+
+// partitionDeviation returns Σ (groupSum − total/n)² for a partition —
+// the balance objective, used by tests to verify DP optimality and by
+// the scaling study.
+func partitionDeviation(impp []float64, starts []int) float64 {
+	p := prefixSums(impp)
+	n := len(starts)
+	iIdeal := p[len(impp)] / float64(n)
+	sum := 0.0
+	for j := 0; j < n; j++ {
+		lo := starts[j]
+		hi := len(impp)
+		if j+1 < n {
+			hi = starts[j+1]
+		}
+		d := p[hi] - p[lo] - iIdeal
+		sum += d * d
+	}
+	return sum
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrefixSums(t *testing.T) {
+	p := prefixSums([]float64{1, 2, 3})
+	want := []float64{0, 1, 3, 6}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Errorf("p[%d] = %v, want %v", i, p[i], want[i])
+		}
+	}
+	if got := prefixSums(nil); len(got) != 1 || got[0] != 0 {
+		t.Errorf("empty prefix sums = %v", got)
+	}
+}
+
+func validStarts(t *testing.T, starts []int, n, nMod int) {
+	t.Helper()
+	if len(starts) != n {
+		t.Fatalf("%d starts for %d groups", len(starts), n)
+	}
+	if starts[0] != 0 {
+		t.Fatalf("first start %d", starts[0])
+	}
+	for j := 1; j < n; j++ {
+		if starts[j] <= starts[j-1] || starts[j] >= nMod {
+			t.Fatalf("invalid starts %v", starts)
+		}
+	}
+}
+
+func TestGreedyPartitionBasics(t *testing.T) {
+	impp := []float64{4, 4, 4, 4, 4, 4}
+	starts, err := greedyPartition(impp, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validStarts(t, starts, 3, 6)
+	// Uniform currents → uniform groups of 2.
+	want := []int{0, 2, 4}
+	for i := range want {
+		if starts[i] != want[i] {
+			t.Fatalf("starts = %v, want %v", starts, want)
+		}
+	}
+}
+
+func TestGreedyPartitionSingleGroup(t *testing.T) {
+	starts, err := greedyPartition([]float64{1, 2, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(starts) != 1 || starts[0] != 0 {
+		t.Errorf("starts = %v", starts)
+	}
+}
+
+func TestGreedyPartitionEachModuleOwnGroup(t *testing.T) {
+	impp := []float64{5, 1, 3}
+	starts, err := greedyPartition(impp, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validStarts(t, starts, 3, 3)
+}
+
+func TestGreedyPartitionErrors(t *testing.T) {
+	if _, err := greedyPartition([]float64{1, 2}, 3); err == nil {
+		t.Error("more groups than modules should error")
+	}
+	if _, err := greedyPartition([]float64{1, 2}, 0); err == nil {
+		t.Error("zero groups should error")
+	}
+}
+
+func TestGreedyPartitionDecayProfile(t *testing.T) {
+	// Exponentially decaying currents — the radiator case. Front groups
+	// must be smaller (fewer hot modules reach the target sum).
+	impp := make([]float64, 100)
+	for i := range impp {
+		impp[i] = 1.5 * math.Exp(-float64(i)/30)
+	}
+	starts, err := greedyPartition(impp, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validStarts(t, starts, 8, 100)
+	firstSize := starts[1] - starts[0]
+	lastSize := 100 - starts[7]
+	if firstSize >= lastSize {
+		t.Errorf("front group %d not smaller than back group %d", firstSize, lastSize)
+	}
+}
+
+func TestDPPartitionOptimalVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		nMod := 4 + rng.Intn(8) // small enough to brute force
+		n := 2 + rng.Intn(3)
+		if n > nMod {
+			n = nMod
+		}
+		impp := make([]float64, nMod)
+		for i := range impp {
+			impp[i] = 0.2 + rng.Float64()*2
+		}
+		starts, err := dpPartition(impp, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		validStarts(t, starts, n, nMod)
+		got := partitionDeviation(impp, starts)
+
+		// Brute force: enumerate all boundary combinations.
+		best := math.Inf(1)
+		var enumerate func(pos, group int, acc []int)
+		enumerate = func(pos, group int, acc []int) {
+			if group == n {
+				if d := partitionDeviation(impp, acc); d < best {
+					best = d
+				}
+				return
+			}
+			for next := pos + 1; next <= nMod-(n-group-1); next++ {
+				enumerate(next, group+1, append(acc, next))
+			}
+		}
+		enumerate(0, 1, []int{0})
+		if got > best+1e-9 {
+			t.Fatalf("trial %d: DP deviation %v worse than brute force %v (starts %v)", trial, got, best, starts)
+		}
+	}
+}
+
+func TestDPNeverWorseThanGreedy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nMod := 5 + rng.Intn(60)
+		n := 2 + rng.Intn(8)
+		if n > nMod {
+			n = nMod
+		}
+		impp := make([]float64, nMod)
+		for i := range impp {
+			impp[i] = 0.1 + rng.Float64()*3
+		}
+		gs, err1 := greedyPartition(impp, n)
+		ds, err2 := dpPartition(impp, n)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return partitionDeviation(impp, ds) <= partitionDeviation(impp, gs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDPPartitionErrors(t *testing.T) {
+	if _, err := dpPartition([]float64{1}, 2); err == nil {
+		t.Error("more groups than modules should error")
+	}
+	if _, err := dpPartition([]float64{1, 2}, 0); err == nil {
+		t.Error("zero groups should error")
+	}
+}
+
+func TestPartitionDeviationZeroForPerfectBalance(t *testing.T) {
+	impp := []float64{2, 2, 2, 2}
+	if d := partitionDeviation(impp, []int{0, 2}); d > 1e-12 {
+		t.Errorf("deviation %v for perfectly balanced split", d)
+	}
+}
+
+func TestGreedyPartitionNearBalanced(t *testing.T) {
+	// The greedy deviation should be within a small factor of DP on
+	// realistic profiles — that is the O(N) vs O(N³) trade the paper
+	// exploits.
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		impp := make([]float64, 100)
+		for i := range impp {
+			impp[i] = 1.5*math.Exp(-float64(i)/25) + 0.1 + 0.05*rng.Float64()
+		}
+		n := 6 + rng.Intn(8)
+		gs, err := greedyPartition(impp, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := dpPartition(impp, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gDev, dDev := partitionDeviation(impp, gs), partitionDeviation(impp, ds)
+		// Greedy must stay within a generous factor of optimal plus a
+		// small absolute allowance (module granularity).
+		if gDev > dDev*8+0.05 {
+			t.Fatalf("trial %d n=%d: greedy %v far from optimal %v", trial, n, gDev, dDev)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"tegrecon/internal/array"
+)
+
+// Static is the non-reconfiguring baseline of Table I: a fixed
+// configuration (the paper's 10 × 10 array — ten series groups of ten
+// parallel modules) applied for the whole drive.
+type Static struct {
+	name string
+	cfg  array.Config
+	sent bool
+}
+
+// NewStatic wraps a fixed configuration as a Controller.
+func NewStatic(name string, cfg array.Config) (*Static, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if name == "" {
+		name = "Baseline"
+	}
+	return &Static{name: name, cfg: cfg}, nil
+}
+
+// NewBaseline10x10 returns the paper's baseline for an n-module array:
+// ten equal series groups (n must be divisible into ten non-empty
+// groups).
+func NewBaseline10x10(nModules int) (*Static, error) {
+	if nModules < 10 {
+		return nil, fmt.Errorf("core: 10-group baseline needs ≥10 modules, got %d", nModules)
+	}
+	cfg, err := array.Uniform(nModules, 10)
+	if err != nil {
+		return nil, err
+	}
+	return NewStatic("Baseline", cfg)
+}
+
+// Name implements Controller.
+func (c *Static) Name() string { return c.name }
+
+// Reset implements Controller.
+func (c *Static) Reset() { c.sent = false }
+
+// Decide implements Controller: always the fixed configuration; the
+// compute time is effectively zero and only the very first period
+// counts as a (commissioning) switch.
+func (c *Static) Decide(tick int, tempsC []float64, ambientC float64) (Decision, error) {
+	start := time.Now()
+	if len(tempsC) != c.cfg.N {
+		return Decision{}, fmt.Errorf("core: %d temperatures for %d-module baseline", len(tempsC), c.cfg.N)
+	}
+	d := Decision{
+		Config:      c.cfg,
+		Switched:    false,
+		ComputeTime: time.Since(start),
+	}
+	if !c.sent {
+		c.sent = true
+	}
+	return d, nil
+}

@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tegrecon/internal/core"
+	"tegrecon/internal/predict"
+	"tegrecon/internal/sim"
+	"tegrecon/internal/teg"
+)
+
+// ScalingPoint is one array size of the Ext-A scalability study.
+type ScalingPoint struct {
+	N           int
+	INORRuntime time.Duration
+	EHTRRuntime time.Duration
+	Speedup     float64
+}
+
+// ScalingStudy measures single-invocation INOR vs EHTR runtime across
+// array sizes on a synthetic radiator profile — the O(N) vs O(N³)
+// claim behind the paper's scalability argument (Sections I and VII).
+// reps controls averaging.
+func ScalingStudy(sizes []int, reps int) ([]ScalingPoint, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("experiments: reps %d < 1", reps)
+	}
+	eval, err := core.NewEvaluator(teg.TGM199, sim.DefaultSystem().Conv)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ScalingPoint, 0, len(sizes))
+	for _, n := range sizes {
+		if n < 10 {
+			return nil, fmt.Errorf("experiments: scaling size %d too small", n)
+		}
+		temps := make([]float64, n)
+		for i := range temps {
+			temps[i] = 38 + 54*math.Exp(-3*float64(i)/float64(n))
+		}
+		inor, err := core.NewINOR(eval)
+		if err != nil {
+			return nil, err
+		}
+		ehtr, err := core.NewEHTR(eval)
+		if err != nil {
+			return nil, err
+		}
+		var tInor, tEhtr time.Duration
+		for r := 0; r < reps; r++ {
+			di, err := inor.Decide(r, temps, 25)
+			if err != nil {
+				return nil, err
+			}
+			tInor += di.ComputeTime
+			de, err := ehtr.Decide(r, temps, 25)
+			if err != nil {
+				return nil, err
+			}
+			tEhtr += de.ComputeTime
+		}
+		p := ScalingPoint{
+			N:           n,
+			INORRuntime: tInor / time.Duration(reps),
+			EHTRRuntime: tEhtr / time.Duration(reps),
+		}
+		if p.INORRuntime > 0 {
+			p.Speedup = float64(p.EHTRRuntime) / float64(p.INORRuntime)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// HorizonPoint is one tp of the Ext-B ablation.
+type HorizonPoint struct {
+	HorizonTicks int
+	EnergyOutJ   float64
+	OverheadJ    float64
+	SwitchEvents int
+}
+
+// HorizonAblation sweeps DNOR's prediction horizon tp over the setup's
+// trace. Horizon 1 is the shortest durable window; larger horizons
+// amortise switches further but lean harder on forecast quality.
+func HorizonAblation(s *Setup, horizons []int) ([]HorizonPoint, error) {
+	out := make([]HorizonPoint, 0, len(horizons))
+	for _, h := range horizons {
+		setup := *s
+		setup.HorizonTicks = h
+		dnor, err := setup.NewDNOR()
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(setup.Sys, setup.Trace, dnor, setup.Opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, HorizonPoint{
+			HorizonTicks: h,
+			EnergyOutJ:   res.EnergyOutJ,
+			OverheadJ:    res.OverheadJ,
+			SwitchEvents: res.SwitchEvents,
+		})
+	}
+	return out, nil
+}
+
+// PredictorPoint is one predictor of the Ext-D ablation.
+type PredictorPoint struct {
+	Predictor    string
+	EnergyOutJ   float64
+	OverheadJ    float64
+	SwitchEvents int
+}
+
+// PredictorAblation runs DNOR with each predictor (MLR, BPNN, SVR, the
+// persistence baseline, and the oracle upper bound) over the setup's
+// trace.
+func PredictorAblation(s *Setup) ([]PredictorPoint, error) {
+	seq, _, err := s.TempSequence()
+	if err != nil {
+		return nil, err
+	}
+	mlr, err := predict.NewMLR(predict.DefaultMLROptions())
+	if err != nil {
+		return nil, err
+	}
+	bpnn, err := predict.NewBPNN(predict.DefaultBPNNOptions())
+	if err != nil {
+		return nil, err
+	}
+	svr, err := predict.NewSVR(predict.DefaultSVROptions())
+	if err != nil {
+		return nil, err
+	}
+	holt, err := predict.NewHolt(predict.DefaultHoltOptions())
+	if err != nil {
+		return nil, err
+	}
+	oracle, err := predict.NewOracle(seq)
+	if err != nil {
+		return nil, err
+	}
+	preds := []predict.Predictor{mlr, bpnn, svr, holt, predict.NewHold(), oracle}
+	out := make([]PredictorPoint, 0, len(preds))
+	for _, p := range preds {
+		dnor, err := s.NewDNORWith(p)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(s.Sys, s.Trace, dnor, s.Opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PredictorPoint{
+			Predictor:    p.Name(),
+			EnergyOutJ:   res.EnergyOutJ,
+			OverheadJ:    res.OverheadJ,
+			SwitchEvents: res.SwitchEvents,
+		})
+	}
+	return out, nil
+}
+
+// WindowPoint is one converter window of the Ext-C ablation.
+type WindowPoint struct {
+	MinInput, MaxInput float64
+	EnergyOutJ         float64
+}
+
+// WindowAblation narrows the converter's input-voltage band (hence
+// INOR's [nmin, nmax]) and measures delivered energy, demonstrating why
+// the group-count window matters (Section III.B).
+func WindowAblation(s *Setup, windows [][2]float64) ([]WindowPoint, error) {
+	out := make([]WindowPoint, 0, len(windows))
+	for _, w := range windows {
+		if w[1] <= w[0] {
+			return nil, fmt.Errorf("experiments: bad window [%g, %g]", w[0], w[1])
+		}
+		setup := *s
+		sysCopy := *s.Sys
+		sysCopy.Conv.MinInput = w[0]
+		sysCopy.Conv.MaxInput = w[1]
+		setup.Sys = &sysCopy
+		inor, err := setup.NewINOR()
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(setup.Sys, setup.Trace, inor, setup.Opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, WindowPoint{MinInput: w[0], MaxInput: w[1], EnergyOutJ: res.EnergyOutJ})
+	}
+	return out, nil
+}
+
+// MarginPoint is one hysteresis margin of the Ext-H ablation.
+type MarginPoint struct {
+	MarginJ      float64
+	EnergyOutJ   float64
+	OverheadJ    float64
+	SwitchEvents int
+}
+
+// MarginAblation (Ext-H) sweeps the extra switch-decision margin added
+// on top of Algorithm 2's E_old ≤ E_new − E_overhead test. The paper's
+// rule is margin 0; positive margins trade a little peak energy for
+// fewer switch events — the knob that closes the gap between our
+// synthetic trace's switch count and the paper's (EXPERIMENTS.md
+// Table I note 1).
+func MarginAblation(s *Setup, marginsJ []float64) ([]MarginPoint, error) {
+	eval, err := s.Evaluator()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MarginPoint, 0, len(marginsJ))
+	for _, m := range marginsJ {
+		mlr, err := predict.NewMLR(predict.DefaultMLROptions())
+		if err != nil {
+			return nil, err
+		}
+		dnor, err := core.NewDNOR(eval, core.DNOROptions{
+			Predictor:    mlr,
+			HorizonTicks: s.HorizonTicks,
+			TickSeconds:  s.Opts.TickSeconds,
+			Overhead:     s.Sys.Overhead,
+			ExtraMargin:  m,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(s.Sys, s.Trace, dnor, s.Opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, MarginPoint{
+			MarginJ:      m,
+			EnergyOutJ:   res.EnergyOutJ,
+			OverheadJ:    res.OverheadJ,
+			SwitchEvents: res.SwitchEvents,
+		})
+	}
+	return out, nil
+}

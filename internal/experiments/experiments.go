@@ -1,0 +1,128 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VI) plus the extension studies indexed in
+// DESIGN.md §4. Each experiment is a pure function from a System + trace
+// (or parameters) to typed rows/series; cmd/ binaries and the benchmark
+// harness render them.
+package experiments
+
+import (
+	"fmt"
+
+	"tegrecon/internal/core"
+	"tegrecon/internal/drive"
+	"tegrecon/internal/predict"
+	"tegrecon/internal/sim"
+	"tegrecon/internal/trace"
+)
+
+// Setup bundles everything the Section VI experiments share.
+type Setup struct {
+	Sys   *sim.System
+	Trace *trace.Trace
+	Opts  sim.Options
+	// HorizonTicks is DNOR's tp in control ticks.
+	HorizonTicks int
+}
+
+// DefaultSetup builds the paper's experimental rig: the 100-module
+// system on the 800 s synthetic Porter II trace at a 0.5 s control
+// period, DNOR predicting 2 s ahead (4 ticks).
+func DefaultSetup() (*Setup, error) {
+	tr, err := drive.Synthesize(drive.DefaultSynthConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Setup{
+		Sys:          sim.DefaultSystem(),
+		Trace:        tr,
+		Opts:         sim.DefaultOptions(),
+		HorizonTicks: 4,
+	}, nil
+}
+
+// Evaluator builds the shared pricing engine.
+func (s *Setup) Evaluator() (*core.Evaluator, error) {
+	return core.NewEvaluator(s.Sys.Spec, s.Sys.Conv)
+}
+
+// NewDNOR builds the paper's DNOR (MLR predictor).
+func (s *Setup) NewDNOR() (core.Controller, error) {
+	eval, err := s.Evaluator()
+	if err != nil {
+		return nil, err
+	}
+	mlr, err := predict.NewMLR(predict.DefaultMLROptions())
+	if err != nil {
+		return nil, err
+	}
+	return core.NewDNOR(eval, core.DNOROptions{
+		Predictor:    mlr,
+		HorizonTicks: s.HorizonTicks,
+		TickSeconds:  s.Opts.TickSeconds,
+		Overhead:     s.Sys.Overhead,
+	})
+}
+
+// NewDNORWith builds a DNOR around an arbitrary predictor (for the
+// predictor ablation).
+func (s *Setup) NewDNORWith(p predict.Predictor) (core.Controller, error) {
+	eval, err := s.Evaluator()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewDNOR(eval, core.DNOROptions{
+		Predictor:    p,
+		HorizonTicks: s.HorizonTicks,
+		TickSeconds:  s.Opts.TickSeconds,
+		Overhead:     s.Sys.Overhead,
+	})
+}
+
+// NewINOR builds the instantaneous controller.
+func (s *Setup) NewINOR() (core.Controller, error) {
+	eval, err := s.Evaluator()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewINOR(eval)
+}
+
+// NewEHTR builds the prior-work reconstruction.
+func (s *Setup) NewEHTR() (core.Controller, error) {
+	eval, err := s.Evaluator()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewEHTR(eval)
+}
+
+// NewBaseline builds the static 10×10 configuration.
+func (s *Setup) NewBaseline() (core.Controller, error) {
+	return core.NewBaseline10x10(s.Sys.Modules)
+}
+
+// TempSequence converts the trace into per-tick module temperature
+// distributions — the predictors' input stream.
+func (s *Setup) TempSequence() ([][]float64, float64, error) {
+	t0 := s.Trace.Times[0]
+	dt := s.Opts.TickSeconds
+	ticks := int(s.Trace.Duration()/dt) + 1
+	out := make([][]float64, 0, ticks)
+	ambient := 0.0
+	for k := 0; k < ticks; k++ {
+		cond, err := drive.ConditionsAt(s.Trace, t0+float64(k)*dt)
+		if err != nil {
+			return nil, 0, err
+		}
+		temps, err := s.Sys.Radiator.ModuleTemps(cond, s.Sys.Modules)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, temps)
+		ambient = cond.AirInletC
+	}
+	if len(out) == 0 {
+		return nil, 0, fmt.Errorf("experiments: empty temperature sequence")
+	}
+	return out, ambient, nil
+}

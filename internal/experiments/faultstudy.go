@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tegrecon/internal/core"
+	"tegrecon/internal/faults"
+	"tegrecon/internal/sim"
+)
+
+// FaultPoint is one scheme of the Ext-E fault-tolerance study.
+type FaultPoint struct {
+	Scheme            string
+	HealthyEnergyJ    float64 // energy with no faults
+	FaultyEnergyJ     float64 // energy with the fault plan active
+	RetainedFraction  float64 // faulty / healthy
+	FaultyIdealJ      float64 // ideal energy of the surviving modules
+	FaultyCaptureFrac float64 // faulty energy / surviving-module ideal
+}
+
+// buildController dispatches scheme construction by name.
+func (s *Setup) buildController(name string) (core.Controller, error) {
+	switch name {
+	case "DNOR":
+		return s.NewDNOR()
+	case "INOR":
+		return s.NewINOR()
+	case "EHTR":
+		return s.NewEHTR()
+	case "Baseline":
+		return s.NewBaseline()
+	default:
+		return nil, fmt.Errorf("experiments: unknown scheme %q", name)
+	}
+}
+
+// FaultStudy (Ext-E) injects `failures` random module failures over the
+// trace and compares how much of the healthy-case energy each scheme
+// retains. Reconfiguration re-balances around dead modules while the
+// static baseline cannot — the extension of the paper's Section I
+// robustness motivation.
+func FaultStudy(s *Setup, failures int, seed int64) ([]FaultPoint, error) {
+	if failures <= 0 {
+		return nil, fmt.Errorf("experiments: non-positive failure count %d", failures)
+	}
+	plan, err := faults.RandomPlan(s.Sys.Modules, failures, s.Trace.Duration(), seed)
+	if err != nil {
+		return nil, err
+	}
+	schemes := []string{"DNOR", "INOR", "Baseline"}
+	out := make([]FaultPoint, 0, len(schemes))
+	for _, name := range schemes {
+		clean, err := s.buildController(name)
+		if err != nil {
+			return nil, err
+		}
+		healthy, err := sim.Run(s.Sys, s.Trace, clean, s.Opts)
+		if err != nil {
+			return nil, err
+		}
+		faulted, err := s.buildController(name)
+		if err != nil {
+			return nil, err
+		}
+		faultOpts := s.Opts
+		faultOpts.FaultPlan = plan
+		fr, err := sim.Run(s.Sys, s.Trace, faulted, faultOpts)
+		if err != nil {
+			return nil, err
+		}
+		p := FaultPoint{
+			Scheme:         name,
+			HealthyEnergyJ: healthy.EnergyOutJ,
+			FaultyEnergyJ:  fr.EnergyOutJ,
+			FaultyIdealJ:   fr.IdealEnergyJ,
+		}
+		if healthy.EnergyOutJ > 0 {
+			p.RetainedFraction = fr.EnergyOutJ / healthy.EnergyOutJ
+		}
+		if fr.IdealEnergyJ > 0 {
+			p.FaultyCaptureFrac = fr.EnergyOutJ / fr.IdealEnergyJ
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

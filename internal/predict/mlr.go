@@ -1,0 +1,214 @@
+package predict
+
+import (
+	"fmt"
+
+	"tegrecon/internal/linalg"
+)
+
+// MLR is the multiple-linear-regression predictor of Section IV — the
+// method the paper selects for DNOR because it is both the most accurate
+// and the cheapest (O(N) per prediction). One ridge-regularised linear
+// model over the pooled AR features of all modules is refit on the
+// sliding window at every observation.
+type MLR struct {
+	order      int     // AR order p (lagged samples per feature vector)
+	window     int     // sliding-window length in ticks
+	ridge      float64 // ridge regularisation λ
+	maxSamples int     // training subsample cap (strided)
+	perModule  bool    // fit one model per module instead of pooling
+	hist       *History
+	coef       []float64   // pooled: order weights followed by intercept
+	coefs      [][]float64 // per-module variant
+	fresh      bool        // coefficients reflect the current history
+}
+
+// MLROptions tunes the predictor.
+type MLROptions struct {
+	// Order is the number of lagged samples per module, ≥ 1.
+	Order int
+	// Window is the history length used for fitting, > Order+1.
+	Window int
+	// Ridge is the regularisation strength; small positive values keep
+	// the near-collinear temperature lags well conditioned.
+	Ridge float64
+	// MaxSamples caps the pooled training set per fit via strided
+	// subsampling; 0 uses the default (256). The cap is what keeps MLR
+	// the fastest of the three methods regardless of module count.
+	MaxSamples int
+	// PerModule fits an independent coefficient vector per module
+	// instead of one pooled model. The pooled form is the paper
+	// configuration (the decay physics is shared, so pooling multiplies
+	// the data); the per-module form exists for the design-choice
+	// comparison in DESIGN.md §5 and costs N× the fitting work.
+	PerModule bool
+}
+
+// DefaultMLROptions matches the configuration used for the paper
+// experiments: 4 lags over a 60-tick (30 s at 0.5 s) window.
+func DefaultMLROptions() MLROptions {
+	return MLROptions{Order: 4, Window: 60, Ridge: 1e-6, MaxSamples: 256}
+}
+
+// NewMLR constructs the predictor.
+func NewMLR(opts MLROptions) (*MLR, error) {
+	if opts.Order < 1 {
+		return nil, fmt.Errorf("predict: MLR order %d < 1", opts.Order)
+	}
+	if opts.Window <= opts.Order+1 {
+		return nil, fmt.Errorf("predict: MLR window %d too small for order %d", opts.Window, opts.Order)
+	}
+	if opts.Ridge < 0 {
+		return nil, fmt.Errorf("predict: negative ridge %g", opts.Ridge)
+	}
+	if opts.MaxSamples < 0 {
+		return nil, fmt.Errorf("predict: negative sample cap %d", opts.MaxSamples)
+	}
+	if opts.MaxSamples == 0 {
+		opts.MaxSamples = 256
+	}
+	if opts.MaxSamples <= opts.Order+1 {
+		return nil, fmt.Errorf("predict: sample cap %d too small for order %d", opts.MaxSamples, opts.Order)
+	}
+	h, err := NewHistory(opts.Window)
+	if err != nil {
+		return nil, err
+	}
+	return &MLR{
+		order:      opts.Order,
+		window:     opts.Window,
+		ridge:      opts.Ridge,
+		maxSamples: opts.MaxSamples,
+		perModule:  opts.PerModule,
+		hist:       h,
+	}, nil
+}
+
+// Name implements Predictor.
+func (m *MLR) Name() string {
+	if m.perModule {
+		return "MLR-per-module"
+	}
+	return "MLR"
+}
+
+// Observe implements Predictor.
+func (m *MLR) Observe(temps []float64) error {
+	if err := m.hist.Push(temps); err != nil {
+		return err
+	}
+	m.fresh = false
+	return nil
+}
+
+// Ready implements Predictor: at least order+2 ticks are needed for a
+// non-degenerate fit.
+func (m *MLR) Ready() bool { return m.hist.Len() >= m.order+2 }
+
+// fit refits the model(s) on the current window.
+func (m *MLR) fit() error {
+	if m.perModule {
+		return m.fitPerModule()
+	}
+	samples := arDataset(m.hist, m.order)
+	if len(samples) == 0 {
+		return ErrNotReady
+	}
+	if len(samples) > m.maxSamples {
+		// Strided subsample keeps coverage across ticks and modules
+		// (arDataset interleaves modules within each tick).
+		stride := (len(samples) + m.maxSamples - 1) / m.maxSamples
+		kept := samples[:0:0]
+		for i := 0; i < len(samples); i += stride {
+			kept = append(kept, samples[i])
+		}
+		samples = kept
+	}
+	a := linalg.NewMatrix(len(samples), m.order+1)
+	b := make([]float64, len(samples))
+	for r, s := range samples {
+		row := a.Row(r)
+		copy(row, s.x)
+		row[m.order] = 1 // intercept
+		b[r] = s.y
+	}
+	coef, err := linalg.RidgeLeastSquares(a, b, m.ridge)
+	if err != nil {
+		return fmt.Errorf("predict: MLR fit: %w", err)
+	}
+	m.coef = coef
+	m.fresh = true
+	return nil
+}
+
+// fitPerModule fits an independent ridge model for every module. The
+// per-module ridge needs to be stronger than the pooled one because each
+// fit sees only window−order samples of a smooth (near-collinear)
+// series.
+func (m *MLR) fitPerModule() error {
+	n := m.hist.Modules()
+	if m.coefs == nil || len(m.coefs) != n {
+		m.coefs = make([][]float64, n)
+	}
+	ridge := m.ridge
+	if ridge < 1e-4 {
+		ridge = 1e-4
+	}
+	for mod := 0; mod < n; mod++ {
+		samples := moduleSamples(m.hist, m.order, mod)
+		if len(samples) == 0 {
+			return ErrNotReady
+		}
+		a := linalg.NewMatrix(len(samples), m.order+1)
+		b := make([]float64, len(samples))
+		for r, s := range samples {
+			row := a.Row(r)
+			copy(row, s.x)
+			row[m.order] = 1
+			b[r] = s.y
+		}
+		coef, err := linalg.RidgeLeastSquares(a, b, ridge)
+		if err != nil {
+			return fmt.Errorf("predict: MLR per-module fit (module %d): %w", mod, err)
+		}
+		m.coefs[mod] = coef
+	}
+	m.fresh = true
+	return nil
+}
+
+// Predict implements Predictor.
+func (m *MLR) Predict(horizon int) ([][]float64, error) {
+	if horizon < 1 {
+		return nil, fmt.Errorf("predict: horizon %d < 1", horizon)
+	}
+	if !m.Ready() {
+		return nil, ErrNotReady
+	}
+	if !m.fresh {
+		if err := m.fit(); err != nil {
+			return nil, err
+		}
+	}
+	step := func(module int, x []float64) float64 {
+		coef := m.coef
+		if m.perModule {
+			coef = m.coefs[module]
+		}
+		y := coef[len(coef)-1]
+		for k, v := range x {
+			y += coef[k] * v
+		}
+		return y
+	}
+	return rollForward(m.hist, m.order, horizon, step), nil
+}
+
+// Coefficients returns a copy of the fitted weights (lags then
+// intercept); nil before the first fit. Exposed for tests and analysis.
+func (m *MLR) Coefficients() []float64 {
+	if m.coef == nil {
+		return nil
+	}
+	return append([]float64(nil), m.coef...)
+}

@@ -1,0 +1,164 @@
+// Package predict implements the temperature-distribution predictors of
+// Section IV: multiple linear regression (MLR), a back-propagation
+// neural network (BPNN) and support vector regression (SVR), all
+// operating directly on the per-module radiator temperature history ("
+// directly predicting the temperature distribution for all TEG modules
+// using former derived temperature distributions"), plus the
+// MAPE-evaluation harness behind Fig. 5.
+//
+// All three predictors share the same pooled auto-regressive feature
+// construction: the features for module i at time t are its own last
+// `order` samples, and one model is trained on the pooled samples of all
+// modules (the physics — exponential decay driven by a common inlet — is
+// shared, so pooling multiplies the training data by N).
+package predict
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotReady is returned by Predict before enough history has been
+// observed to train the model.
+var ErrNotReady = errors.New("predict: not enough history")
+
+// Predictor forecasts future temperature distributions from observed
+// ones. Implementations are fed one distribution per control tick via
+// Observe and asked for the next `horizon` ticks via Predict.
+type Predictor interface {
+	// Name identifies the method ("MLR", "BPNN", "SVR", …).
+	Name() string
+	// Observe appends one temperature distribution (°C per module).
+	Observe(temps []float64) error
+	// Ready reports whether enough history exists to predict.
+	Ready() bool
+	// Predict returns the next horizon distributions. The returned
+	// slices are owned by the caller.
+	Predict(horizon int) ([][]float64, error)
+}
+
+// History is a bounded sliding window of temperature distributions
+// shared by the predictor implementations.
+type History struct {
+	n     int         // modules per sample
+	cap   int         // maximum retained ticks
+	ticks [][]float64 // oldest first
+}
+
+// NewHistory creates a window retaining at most capTicks distributions.
+func NewHistory(capTicks int) (*History, error) {
+	if capTicks < 2 {
+		return nil, fmt.Errorf("predict: history capacity %d too small", capTicks)
+	}
+	return &History{cap: capTicks}, nil
+}
+
+// Push appends one distribution, evicting the oldest beyond capacity.
+// The first push fixes the module count; later pushes must match it.
+func (h *History) Push(temps []float64) error {
+	if len(temps) == 0 {
+		return errors.New("predict: empty temperature sample")
+	}
+	if h.n == 0 {
+		h.n = len(temps)
+	} else if len(temps) != h.n {
+		return fmt.Errorf("predict: sample with %d modules after %d", len(temps), h.n)
+	}
+	h.ticks = append(h.ticks, append([]float64(nil), temps...))
+	if len(h.ticks) > h.cap {
+		h.ticks = h.ticks[1:]
+	}
+	return nil
+}
+
+// Len returns the number of retained ticks.
+func (h *History) Len() int { return len(h.ticks) }
+
+// Modules returns the module count (0 before the first push).
+func (h *History) Modules() int { return h.n }
+
+// Tick returns the distribution at index k (0 = oldest retained).
+func (h *History) Tick(k int) []float64 { return h.ticks[k] }
+
+// Latest returns the most recent distribution.
+func (h *History) Latest() []float64 { return h.ticks[len(h.ticks)-1] }
+
+// arSample is one pooled training pair: the last `order` values of one
+// module and the value that followed them.
+type arSample struct {
+	x []float64
+	y float64
+}
+
+// arDataset extracts all pooled AR training pairs of the given order
+// from the history.
+func arDataset(h *History, order int) []arSample {
+	t := h.Len()
+	if t <= order {
+		return nil
+	}
+	out := make([]arSample, 0, (t-order)*h.Modules())
+	for end := order; end < t; end++ {
+		for m := 0; m < h.Modules(); m++ {
+			x := make([]float64, order)
+			for k := 0; k < order; k++ {
+				x[k] = h.Tick(end - order + k)[m]
+			}
+			out = append(out, arSample{x: x, y: h.Tick(end)[m]})
+		}
+	}
+	return out
+}
+
+// latestFeatures returns the current AR feature vector of every module
+// (the inputs for one-step-ahead prediction).
+func latestFeatures(h *History, order int) [][]float64 {
+	t := h.Len()
+	out := make([][]float64, h.Modules())
+	for m := range out {
+		x := make([]float64, order)
+		for k := 0; k < order; k++ {
+			x[k] = h.Tick(t - order + k)[m]
+		}
+		out[m] = x
+	}
+	return out
+}
+
+// rollForward produces a multi-step forecast by repeatedly applying a
+// one-step model f — which may condition on the module index — to the
+// feature window and feeding predictions back.
+func rollForward(h *History, order, horizon int, f func(module int, x []float64) float64) [][]float64 {
+	n := h.Modules()
+	// Per-module working windows seeded from history.
+	windows := latestFeatures(h, order)
+	out := make([][]float64, horizon)
+	for step := 0; step < horizon; step++ {
+		row := make([]float64, n)
+		for m := 0; m < n; m++ {
+			y := f(m, windows[m])
+			row[m] = y
+			copy(windows[m], windows[m][1:])
+			windows[m][order-1] = y
+		}
+		out[step] = row
+	}
+	return out
+}
+
+// moduleSamples extracts the AR training pairs of a single module.
+func moduleSamples(h *History, order, module int) []arSample {
+	t := h.Len()
+	if t <= order {
+		return nil
+	}
+	out := make([]arSample, 0, t-order)
+	for end := order; end < t; end++ {
+		x := make([]float64, order)
+		for k := 0; k < order; k++ {
+			x[k] = h.Tick(end - order + k)[module]
+		}
+		out = append(out, arSample{x: x, y: h.Tick(end)[module]})
+	}
+	return out
+}

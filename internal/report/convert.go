@@ -1,0 +1,163 @@
+package report
+
+import (
+	"fmt"
+	"strconv"
+
+	"tegrecon/internal/experiments"
+)
+
+func f1(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+func f2(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+func f4(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+func pct(v float64) string {
+	return strconv.FormatFloat(100*v, 'f', 1, 64) + "%"
+}
+
+// FromTableI converts the Table I result.
+func FromTableI(r *experiments.TableIResult) *Table {
+	t := &Table{
+		Title:  "Table I — energy / overhead / runtime comparison",
+		Header: []string{"scheme", "energy_j", "overhead_j", "avg_runtime_ms", "switch_events"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Scheme,
+			f1(row.EnergyOutJ),
+			f2(row.OverheadJ),
+			f4(float64(row.AvgRuntime) / 1e6),
+			strconv.Itoa(row.SwitchEvents),
+		})
+	}
+	return t
+}
+
+// FromScaling converts the Ext-A scaling study.
+func FromScaling(pts []experiments.ScalingPoint) *Table {
+	t := &Table{
+		Title:  "Ext-A — INOR vs EHTR runtime scaling",
+		Header: []string{"n_modules", "inor_us", "ehtr_us", "speedup"},
+	}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(p.N),
+			strconv.FormatInt(p.INORRuntime.Microseconds(), 10),
+			strconv.FormatInt(p.EHTRRuntime.Microseconds(), 10),
+			f1(p.Speedup),
+		})
+	}
+	return t
+}
+
+// FromHorizon converts the Ext-B horizon ablation.
+func FromHorizon(pts []experiments.HorizonPoint) *Table {
+	t := &Table{
+		Title:  "Ext-B — DNOR prediction-horizon ablation",
+		Header: []string{"horizon_ticks", "energy_j", "overhead_j", "switch_events"},
+	}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(p.HorizonTicks), f1(p.EnergyOutJ), f2(p.OverheadJ), strconv.Itoa(p.SwitchEvents),
+		})
+	}
+	return t
+}
+
+// FromWindow converts the Ext-C converter-window ablation.
+func FromWindow(pts []experiments.WindowPoint) *Table {
+	t := &Table{
+		Title:  "Ext-C — converter input-window ablation",
+		Header: []string{"min_input_v", "max_input_v", "energy_j"},
+	}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{f1(p.MinInput), f1(p.MaxInput), f1(p.EnergyOutJ)})
+	}
+	return t
+}
+
+// FromPredictors converts the Ext-D predictor ablation.
+func FromPredictors(pts []experiments.PredictorPoint) *Table {
+	t := &Table{
+		Title:  "Ext-D — DNOR predictor ablation",
+		Header: []string{"predictor", "energy_j", "overhead_j", "switch_events"},
+	}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{
+			p.Predictor, f1(p.EnergyOutJ), f2(p.OverheadJ), strconv.Itoa(p.SwitchEvents),
+		})
+	}
+	return t
+}
+
+// FromFaultStudy converts the Ext-E fault-tolerance study.
+func FromFaultStudy(pts []experiments.FaultPoint) *Table {
+	t := &Table{
+		Title:  "Ext-E — module-failure tolerance",
+		Header: []string{"scheme", "healthy_j", "faulted_j", "retained", "capture_of_ideal"},
+	}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{
+			p.Scheme, f1(p.HealthyEnergyJ), f1(p.FaultyEnergyJ),
+			pct(p.RetainedFraction), pct(p.FaultyCaptureFrac),
+		})
+	}
+	return t
+}
+
+// FromSeedSweep converts the Ext-F robustness sweep.
+func FromSeedSweep(r *experiments.SeedSweepResult) *Table {
+	return &Table{
+		Title:  "Ext-F — seed-sweep robustness",
+		Header: []string{"seeds", "gain_mean", "gain_std", "gain_min", "overhead_ratio_mean", "overhead_ratio_min", "dnor_beats_inor"},
+		Rows: [][]string{{
+			strconv.Itoa(r.Seeds),
+			pct(r.GainMean), pct(r.GainStd), pct(r.GainMin),
+			f1(r.OverheadRatioMean), f1(r.OverheadRatioMin),
+			fmt.Sprintf("%d/%d", r.DNORBeatsINOR, r.Seeds),
+		}},
+	}
+}
+
+// FromBank converts the Ext-G 2-D radiator bank study.
+func FromBank(pts []experiments.BankPoint) *Table {
+	t := &Table{
+		Title:  "Ext-G — 2-D radiator bank with flow maldistribution",
+		Header: []string{"maldistribution", "paths", "inor_j", "baseline_j", "gain"},
+	}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{
+			f2(p.Maldistribution), strconv.Itoa(p.Paths),
+			f1(p.INOREnergyJ), f1(p.BaselineEnergyJ), pct(p.Gain),
+		})
+	}
+	return t
+}
+
+// FromMargins converts the Ext-H margin ablation.
+func FromMargins(pts []experiments.MarginPoint) *Table {
+	t := &Table{
+		Title:  "Ext-H — DNOR switch-margin ablation",
+		Header: []string{"margin_j", "energy_j", "overhead_j", "switch_events"},
+	}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{
+			f2(p.MarginJ), f1(p.EnergyOutJ), f2(p.OverheadJ), strconv.Itoa(p.SwitchEvents),
+		})
+	}
+	return t
+}
+
+// FromFig5 converts the Fig. 5 prediction comparison summary.
+func FromFig5(r *experiments.Fig5Result) *Table {
+	t := &Table{
+		Title:  "Fig. 5 — prediction accuracy and cost",
+		Header: []string{"method", "mape_pct", "max_ape_pct", "runtime_ms", "evaluated"},
+	}
+	for _, res := range r.Results {
+		t.Rows = append(t.Rows, []string{
+			res.Name, f4(res.MAPE), f4(res.MaxAPE),
+			f1(float64(res.Runtime) / 1e6), strconv.Itoa(res.Evaluated),
+		})
+	}
+	return t
+}

@@ -1,0 +1,351 @@
+// Package sim closes the loop of Section VI: it steps a drive trace
+// through the radiator thermal model, lets a reconfiguration controller
+// choose the array topology each control period, operates the chosen
+// configuration with the perturb-and-observe MPPT through the converter
+// into the battery, and accounts delivered energy, switching overhead and
+// controller runtime — the quantities of Table I and Figs. 6–7.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"tegrecon/internal/array"
+	"tegrecon/internal/battery"
+	"tegrecon/internal/charger"
+	"tegrecon/internal/converter"
+	"tegrecon/internal/core"
+	"tegrecon/internal/drive"
+	"tegrecon/internal/faults"
+	"tegrecon/internal/mppt"
+	"tegrecon/internal/switchfab"
+	"tegrecon/internal/teg"
+	"tegrecon/internal/thermal"
+	"tegrecon/internal/trace"
+)
+
+// System bundles the physical plant of the experiments.
+type System struct {
+	Radiator *thermal.Radiator
+	Spec     teg.ModuleSpec
+	Modules  int
+	Conv     converter.Model
+	Overhead switchfab.OverheadModel
+}
+
+// DefaultSystem returns the 100-module experimental rig of Section VI:
+// default radiator, TGM-199-1.4-0.8 modules, LTM4607 charger, default
+// overhead model.
+func DefaultSystem() *System {
+	return &System{
+		Radiator: thermal.DefaultRadiator(),
+		Spec:     teg.TGM199,
+		Modules:  100,
+		Conv:     converter.LTM4607(),
+		Overhead: switchfab.DefaultOverhead(),
+	}
+}
+
+// Validate checks the system description.
+func (s *System) Validate() error {
+	if s.Radiator == nil {
+		return fmt.Errorf("sim: nil radiator")
+	}
+	if err := s.Radiator.Validate(); err != nil {
+		return err
+	}
+	if err := s.Spec.Validate(); err != nil {
+		return err
+	}
+	if s.Modules <= 0 {
+		return fmt.Errorf("sim: non-positive module count %d", s.Modules)
+	}
+	return s.Conv.Validate()
+}
+
+// Options tune a simulation run.
+type Options struct {
+	// TickSeconds is the control period (0.5 s in the paper).
+	TickSeconds float64
+	// SensorNoiseC is the standard deviation of the temperature sensing
+	// noise seen by the controller (the plant uses true temperatures).
+	SensorNoiseC float64
+	// Seed drives the sensor noise.
+	Seed int64
+	// Battery, when true, terminates the chain in a lead-acid battery
+	// and reports stored energy too.
+	Battery bool
+	// SelfCheck runs energy-conservation assertions every tick (slower;
+	// used by tests).
+	SelfCheck bool
+	// FaultPlan, when non-nil, injects module failures during the run
+	// (see the faults package). Failed modules read as ambient
+	// temperature to the controller — the fault-detection abstraction:
+	// a dead module is indistinguishable from a stone-cold one, and
+	// both demand zero MPP current.
+	FaultPlan *faults.Plan
+	// ChargeProfile, when non-nil (and Battery is enabled), schedules
+	// the converter's output voltage through the three-stage lead-acid
+	// strategy instead of the fixed 13.8 V float.
+	ChargeProfile *charger.Profile
+}
+
+// DefaultOptions returns the experimental settings.
+func DefaultOptions() Options {
+	return Options{TickSeconds: 0.5, SensorNoiseC: 0.1, Seed: 7, Battery: false}
+}
+
+// Tick is the per-control-period record behind Figs. 6 and 7.
+type Tick struct {
+	Time     float64 // seconds from trace start
+	GrossW   float64 // delivered power at the tracked operating point
+	NetW     float64 // after subtracting this tick's overhead energy
+	IdealW   float64 // Σ module MPPs (Fig. 7 normaliser)
+	Ratio    float64 // NetW / IdealW (0 when IdealW is 0)
+	Switched bool    // a fabric reprogram happened this tick
+	Toggles  int     // switch actuations this tick
+	Overhead float64 // overhead energy charged this tick, J
+	Runtime  time.Duration
+	Groups   int     // series group count of the active configuration
+	TEGEff   float64 // thermal→electrical conversion efficiency at the operating point
+}
+
+// Result aggregates one scheme's run — one column of Table I.
+type Result struct {
+	Scheme        string
+	EnergyOutJ    float64 // net delivered energy (Table I "Energy Output")
+	OverheadJ     float64 // total switching overhead (Table I "Switch Overhead")
+	SwitchEvents  int     // fabric reprograms
+	SwitchToggles int     // individual switch actuations
+	AvgRuntime    time.Duration
+	MaxRuntime    time.Duration
+	IdealEnergyJ  float64
+	AvgTEGEff     float64 // mean conversion efficiency over producing ticks
+	BatteryJ      float64 // energy stored in the battery (if enabled)
+	Ticks         []Tick
+}
+
+// Run simulates one controller over the trace.
+func Run(sys *System, tr *trace.Trace, ctrl core.Controller, opts Options) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if tr == nil || tr.Len() < 2 {
+		return nil, fmt.Errorf("sim: trace too short")
+	}
+	if opts.TickSeconds <= 0 {
+		return nil, fmt.Errorf("sim: non-positive tick %g", opts.TickSeconds)
+	}
+	if opts.SensorNoiseC < 0 {
+		return nil, fmt.Errorf("sim: negative sensor noise %g", opts.SensorNoiseC)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	ctrl.Reset()
+
+	var bat *battery.LeadAcid
+	if opts.Battery {
+		var err error
+		bat, err = battery.NewLeadAcid(0.6)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opts.ChargeProfile != nil {
+		if !opts.Battery {
+			return nil, fmt.Errorf("sim: charge profile requires the battery")
+		}
+		if err := opts.ChargeProfile.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Scheme: ctrl.Name()}
+	ticks := int(math.Floor(tr.Duration()/opts.TickSeconds)) + 1
+	res.Ticks = make([]Tick, 0, ticks)
+
+	var faultTracker *faults.Tracker
+	if opts.FaultPlan != nil {
+		if opts.FaultPlan.Modules() != sys.Modules {
+			return nil, fmt.Errorf("sim: fault plan for %d modules on a %d-module system", opts.FaultPlan.Modules(), sys.Modules)
+		}
+		var err error
+		faultTracker, err = faults.NewTracker(opts.FaultPlan)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var tracker *mppt.Tracker
+	var prevCfg *core.Decision
+	var totalRuntime time.Duration
+	t0 := tr.Times[0]
+	sensed := make([]float64, sys.Modules)
+	for k := 0; k < ticks; k++ {
+		now := t0 + float64(k)*opts.TickSeconds
+		cond, err := drive.ConditionsAt(tr, now)
+		if err != nil {
+			return nil, fmt.Errorf("sim: t=%g: %w", now, err)
+		}
+		temps, err := sys.Radiator.ModuleTemps(cond, sys.Modules)
+		if err != nil {
+			return nil, fmt.Errorf("sim: t=%g: %w", now, err)
+		}
+		var health []array.ModuleHealth
+		if faultTracker != nil {
+			health, _, err = faultTracker.AdvanceTo(now)
+			if err != nil {
+				return nil, err
+			}
+		}
+		for i, tv := range temps {
+			sensed[i] = tv + rng.NormFloat64()*opts.SensorNoiseC
+			if health != nil && health[i] != array.Healthy {
+				// Fault detection: the controller sees a dead module as
+				// one at ambient (zero harvestable ΔT).
+				sensed[i] = cond.AirInletC
+			}
+		}
+
+		dec, err := ctrl.Decide(k, sensed, cond.AirInletC)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s at t=%g: %w", ctrl.Name(), now, err)
+		}
+		totalRuntime += dec.ComputeTime
+		if dec.ComputeTime > res.MaxRuntime {
+			res.MaxRuntime = dec.ComputeTime
+		}
+
+		// Plant: true temperatures (and true health), chosen config.
+		arr, err := array.NewWithHealth(sys.Spec, teg.OpsFromTemps(temps, cond.AirInletC), health)
+		if err != nil {
+			return nil, err
+		}
+		eq, err := arr.Equivalent(dec.Config)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s produced bad config at t=%g: %w", ctrl.Name(), now, err)
+		}
+		// The charger's P&O search window spans the configuration's
+		// short-circuit current; a topology change discards the old
+		// operating point (cold restart — part of the MPPT-settle
+		// overhead the switch accounting charges).
+		// The charging stage (when scheduled) retargets the converter's
+		// output voltage, shifting its efficiency peak.
+		conv := sys.Conv
+		if opts.ChargeProfile != nil {
+			conv.OutputVoltage = opts.ChargeProfile.TargetVoltage(bat.SoC)
+		}
+		var gross, opCurrent float64
+		if !eq.Broken && eq.Voc > 0 && eq.R > 0 {
+			if tracker == nil || dec.Switched {
+				isc := eq.Voc / eq.R
+				tracker, err = mppt.New(mppt.DefaultOptions(isc))
+				if err != nil {
+					return nil, err
+				}
+			}
+			delivered := func(i float64) float64 {
+				v := eq.VoltageAt(i)
+				return conv.OutputPower(v, v*i)
+			}
+			op := tracker.Track(delivered)
+			gross, opCurrent = op.Power, op.Current
+		}
+
+		if opts.SelfCheck {
+			if rel, err := arr.EnergyConservationCheck(dec.Config, opCurrent); err != nil || rel > 1e-6 {
+				return nil, fmt.Errorf("sim: energy conservation violated at t=%g: rel=%v err=%v", now, rel, err)
+			}
+		}
+
+		// Overhead accounting: only fabric reprograms cost energy.
+		overheadJ := 0.0
+		toggles := 0
+		if dec.Switched {
+			prev := dec.Config
+			if prevCfg != nil {
+				prev = prevCfg.Config
+			}
+			cost, err := sys.Overhead.ForcedCost(prev, dec.Config, gross, dec.ComputeTime)
+			if err != nil {
+				return nil, err
+			}
+			overheadJ = cost.Energy
+			toggles = cost.SwitchCount
+			res.SwitchEvents++
+			res.SwitchToggles += toggles
+		}
+		netJ := gross*opts.TickSeconds - overheadJ
+		if netJ < 0 {
+			netJ = 0
+		}
+
+		tegEff := 0.0
+		if gross > 0 {
+			tegEff, err = arr.ConversionEfficiency(dec.Config, opCurrent)
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		ideal := arr.IdealPower()
+		tick := Tick{
+			Time:     now,
+			GrossW:   gross,
+			NetW:     netJ / opts.TickSeconds,
+			IdealW:   ideal,
+			Switched: dec.Switched,
+			Toggles:  toggles,
+			Overhead: overheadJ,
+			Runtime:  dec.ComputeTime,
+			Groups:   dec.Config.Groups(),
+			TEGEff:   tegEff,
+		}
+		if ideal > 0 {
+			tick.Ratio = tick.NetW / ideal
+		}
+		res.Ticks = append(res.Ticks, tick)
+
+		res.EnergyOutJ += netJ
+		res.OverheadJ += overheadJ
+		res.IdealEnergyJ += ideal * opts.TickSeconds
+		if bat != nil {
+			if _, err := bat.Accept(netJ/opts.TickSeconds, opts.TickSeconds); err != nil {
+				return nil, err
+			}
+		}
+		prevCfg = &dec
+	}
+	if n := len(res.Ticks); n > 0 {
+		res.AvgRuntime = totalRuntime / time.Duration(n)
+	}
+	effSum, effN := 0.0, 0
+	for _, tk := range res.Ticks {
+		if tk.TEGEff > 0 {
+			effSum += tk.TEGEff
+			effN++
+		}
+	}
+	if effN > 0 {
+		res.AvgTEGEff = effSum / float64(effN)
+	}
+	if bat != nil {
+		res.BatteryJ = bat.AbsorbedJoules()
+	}
+	return res, nil
+}
+
+// RunAll runs several controllers over the same trace — the Table I
+// driver.
+func RunAll(sys *System, tr *trace.Trace, ctrls []core.Controller, opts Options) ([]*Result, error) {
+	out := make([]*Result, 0, len(ctrls))
+	for _, c := range ctrls {
+		r, err := Run(sys, tr, c, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,242 @@
+package switchfab
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tegrecon/internal/array"
+)
+
+func mustConfig(t *testing.T, n int, starts []int) array.Config {
+	t.Helper()
+	c, err := array.NewConfig(n, starts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestStatesAllParallel(t *testing.T) {
+	st, err := States(array.AllParallel(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st) != 4 {
+		t.Fatalf("%d boundaries", len(st))
+	}
+	for i, s := range st {
+		if s != Parallel {
+			t.Errorf("boundary %d = %v", i, s)
+		}
+	}
+}
+
+func TestStatesAllSeries(t *testing.T) {
+	st, err := States(array.AllSeries(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range st {
+		if s != Series {
+			t.Errorf("boundary %d = %v", i, s)
+		}
+	}
+}
+
+func TestStatesMixed(t *testing.T) {
+	// Groups [0..2], [3..4]: only boundary 2↔3 is series.
+	st, err := States(mustConfig(t, 5, []int{0, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []BoundaryState{Parallel, Parallel, Series, Parallel}
+	for i := range want {
+		if st[i] != want[i] {
+			t.Errorf("boundary %d = %v, want %v", i, st[i], want[i])
+		}
+	}
+}
+
+func TestStatesSeriesCountMatchesGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(50)
+		starts := []int{0}
+		for pos := 1 + rng.Intn(4); pos < n; pos += 1 + rng.Intn(6) {
+			starts = append(starts, pos)
+		}
+		cfg := mustConfig(t, n, starts)
+		st, err := States(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		series := 0
+		for _, s := range st {
+			if s == Series {
+				series++
+			}
+		}
+		if series != cfg.Groups()-1 {
+			t.Fatalf("series boundaries %d != groups-1 %d", series, cfg.Groups()-1)
+		}
+	}
+}
+
+func TestStatesInvalidConfig(t *testing.T) {
+	if _, err := States(array.Config{N: 0}); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestSwitchTogglesIdentity(t *testing.T) {
+	c := mustConfig(t, 10, []int{0, 4})
+	n, err := SwitchToggles(c, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("identity toggles = %d", n)
+	}
+}
+
+func TestSwitchTogglesSingleBoundaryMove(t *testing.T) {
+	a := mustConfig(t, 10, []int{0, 4})
+	b := mustConfig(t, 10, []int{0, 5})
+	n, err := SwitchToggles(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Boundary 3↔4 flips to parallel, 4↔5 flips to series: 2 boundaries
+	// × 3 switches.
+	if n != 6 {
+		t.Errorf("toggles = %d, want 6", n)
+	}
+}
+
+func TestSwitchTogglesSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mk := func() array.Config {
+		starts := []int{0}
+		for pos := 1 + rng.Intn(4); pos < 30; pos += 1 + rng.Intn(8) {
+			starts = append(starts, pos)
+		}
+		c, _ := array.NewConfig(30, starts)
+		return c
+	}
+	for trial := 0; trial < 30; trial++ {
+		a, b := mk(), mk()
+		ab, err1 := SwitchToggles(a, b)
+		ba, err2 := SwitchToggles(b, a)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if ab != ba {
+			t.Fatalf("toggles not symmetric: %d vs %d", ab, ba)
+		}
+		if ab%3 != 0 {
+			t.Fatalf("toggles %d not a multiple of 3", ab)
+		}
+	}
+}
+
+func TestSwitchTogglesSizeMismatch(t *testing.T) {
+	a := mustConfig(t, 10, []int{0})
+	b := mustConfig(t, 12, []int{0})
+	if _, err := SwitchToggles(a, b); err == nil {
+		t.Error("size mismatch should error")
+	}
+}
+
+func TestReconfigureCostNoop(t *testing.T) {
+	m := DefaultOverhead()
+	c := mustConfig(t, 10, []int{0, 5})
+	cost, err := m.ReconfigureCost(c, c, 50, 3*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.SwitchCount != 0 {
+		t.Errorf("no-op actuated %d switches", cost.SwitchCount)
+	}
+	wantDown := m.SenseDelay + 3*time.Millisecond
+	if cost.Downtime != wantDown {
+		t.Errorf("downtime %v, want %v", cost.Downtime, wantDown)
+	}
+	wantE := 50 * wantDown.Seconds()
+	if math.Abs(cost.Energy-wantE) > 1e-12 {
+		t.Errorf("energy %v, want %v", cost.Energy, wantE)
+	}
+}
+
+func TestReconfigureCostFullSwitch(t *testing.T) {
+	m := DefaultOverhead()
+	a := mustConfig(t, 10, []int{0, 5})
+	b := mustConfig(t, 10, []int{0, 3, 7})
+	cost, err := m.ReconfigureCost(a, b, 40, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.SwitchCount == 0 {
+		t.Fatal("expected actuations")
+	}
+	wantDown := m.SenseDelay + 2*time.Millisecond + m.ActuationDelay + m.MPPTSettle
+	if cost.Downtime != wantDown {
+		t.Errorf("downtime %v, want %v", cost.Downtime, wantDown)
+	}
+	wantE := 40*wantDown.Seconds() + float64(cost.SwitchCount)*m.SwitchEnergy
+	if math.Abs(cost.Energy-wantE) > 1e-12 {
+		t.Errorf("energy %v, want %v", cost.Energy, wantE)
+	}
+}
+
+func TestReconfigureCostNegativePower(t *testing.T) {
+	m := DefaultOverhead()
+	c := mustConfig(t, 4, []int{0})
+	if _, err := m.ReconfigureCost(c, c, -1, 0); err == nil {
+		t.Error("negative power should error")
+	}
+}
+
+func TestSwitchEstimate(t *testing.T) {
+	m := DefaultOverhead()
+	a := mustConfig(t, 10, []int{0, 5})
+	b := mustConfig(t, 10, []int{0, 6})
+	e, err := m.SwitchEstimate(a, b, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e <= 0 {
+		t.Errorf("estimate %v", e)
+	}
+	same, err := m.SwitchEstimate(a, a, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != 0 {
+		t.Errorf("no-switch estimate %v, want 0", same)
+	}
+}
+
+func TestSwitchEstimateMonotoneInPower(t *testing.T) {
+	m := DefaultOverhead()
+	a := mustConfig(t, 10, []int{0, 5})
+	b := mustConfig(t, 10, []int{0, 2, 7})
+	lo, err := m.SwitchEstimate(a, b, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := m.SwitchEstimate(a, b, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi <= lo {
+		t.Errorf("estimate should grow with forgone power: %v -> %v", lo, hi)
+	}
+}
+
+func TestBoundaryStateString(t *testing.T) {
+	if Series.String() != "series" || Parallel.String() != "parallel" {
+		t.Error("state names wrong")
+	}
+}

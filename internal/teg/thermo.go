@@ -1,0 +1,77 @@
+package teg
+
+import (
+	"fmt"
+
+	"tegrecon/internal/units"
+)
+
+// The thermodynamic relations below follow Goupil et al., "Thermodynamics
+// of thermoelectric phenomena and applications" (the paper's reference
+// [9]): at output current I the hot junction absorbs
+//
+//	Q_h = α·T_h·I + K_th·ΔT − ½·I²·R
+//
+// (Peltier pumping + conductive leak − half the Joule heat returned),
+// and the conversion efficiency is η = P/Q_h.
+
+// ThermalConductance returns the module's hot-to-cold thermal
+// conductance K_th (W/K). A zero spec value falls back to the value
+// implied by a Bi₂Te₃-typical figure of merit ZT ≈ 0.7 at 300 K.
+func (s ModuleSpec) ThermalConductanceWK() float64 {
+	if s.ThermalConductance > 0 {
+		return s.ThermalConductance
+	}
+	// Z = α²/(R·K) ⇒ K = α²/(R·Z) with Z·300K = 0.7.
+	alpha := s.ModuleSeebeck()
+	z := 0.7 / 300.0
+	return alpha * alpha / (s.InternalResistance * z)
+}
+
+// HeatInput returns Q_h (W) absorbed from the hot side at output
+// current I. Negative currents (reverse-driven modules) are rejected.
+func (s ModuleSpec) HeatInput(op OperatingPoint, current float64) (float64, error) {
+	if current < 0 {
+		return 0, fmt.Errorf("teg: negative current %g in HeatInput", current)
+	}
+	thK := units.CToK(op.HotC)
+	r := s.R(op)
+	return s.ModuleSeebeck()*thK*current + s.ThermalConductanceWK()*op.DeltaT - 0.5*current*current*r, nil
+}
+
+// Efficiency returns η = P/Q_h at output current I, 0 when no heat
+// flows.
+func (s ModuleSpec) Efficiency(op OperatingPoint, current float64) (float64, error) {
+	qh, err := s.HeatInput(op, current)
+	if err != nil {
+		return 0, err
+	}
+	if qh <= 0 {
+		return 0, nil
+	}
+	p := s.PowerAtCurrent(op, current)
+	if p < 0 {
+		return 0, nil
+	}
+	return p / qh, nil
+}
+
+// CarnotEfficiency returns the thermodynamic bound ΔT/T_h for the
+// operating point (T in kelvin).
+func (s ModuleSpec) CarnotEfficiency(op OperatingPoint) float64 {
+	thK := units.CToK(op.HotC)
+	if thK <= 0 || op.DeltaT <= 0 {
+		return 0
+	}
+	return op.DeltaT / thK
+}
+
+// FigureOfMerit returns the dimensionless ZT at the operating point's
+// mean temperature.
+func (s ModuleSpec) FigureOfMerit(op OperatingPoint) float64 {
+	alpha := s.ModuleSeebeck()
+	r := s.R(op)
+	k := s.ThermalConductanceWK()
+	tMeanK := units.CToK(op.HotC) - op.DeltaT/2
+	return alpha * alpha / (r * k) * tMeanK
+}

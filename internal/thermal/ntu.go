@@ -1,0 +1,82 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// FlowArrangement selects the effectiveness relation used for the whole
+// exchanger (the ε-NTU correlations from Bergman, Table 11.4).
+type FlowArrangement int
+
+const (
+	// CrossFlowBothUnmixed models a finned-tube radiator where neither
+	// stream mixes transversally — the standard automotive case.
+	CrossFlowBothUnmixed FlowArrangement = iota
+	// CrossFlowCmaxMixed models the air (usually Cmax) stream mixed.
+	CrossFlowCmaxMixed
+	// CounterFlow is included as the theoretical upper bound.
+	CounterFlow
+	// ParallelFlow is included as the lower bound.
+	ParallelFlow
+)
+
+// String returns the arrangement name.
+func (f FlowArrangement) String() string {
+	switch f {
+	case CrossFlowBothUnmixed:
+		return "crossflow-both-unmixed"
+	case CrossFlowCmaxMixed:
+		return "crossflow-cmax-mixed"
+	case CounterFlow:
+		return "counterflow"
+	case ParallelFlow:
+		return "parallelflow"
+	default:
+		return fmt.Sprintf("FlowArrangement(%d)", int(f))
+	}
+}
+
+// NTU returns the number of transfer units UA/Cmin. It panics on a
+// non-positive Cmin because that indicates a stalled fluid stream which
+// callers must handle before invoking the ε-NTU machinery.
+func NTU(ua, cmin float64) float64 {
+	if cmin <= 0 {
+		panic("thermal: NTU with non-positive Cmin")
+	}
+	return ua / cmin
+}
+
+// Effectiveness returns the heat-exchanger effectiveness ε for the given
+// arrangement, NTU and capacity ratio cr = Cmin/Cmax ∈ [0, 1].
+func Effectiveness(arr FlowArrangement, ntu, cr float64) (float64, error) {
+	if ntu < 0 {
+		return 0, fmt.Errorf("thermal: negative NTU %g", ntu)
+	}
+	if cr < 0 || cr > 1 {
+		return 0, fmt.Errorf("thermal: capacity ratio %g outside [0,1]", cr)
+	}
+	// cr → 0 limit (e.g. boiling/condensing or very large Cmax stream)
+	// is shared by all arrangements.
+	if cr < 1e-12 {
+		return 1 - math.Exp(-ntu), nil
+	}
+	switch arr {
+	case CrossFlowBothUnmixed:
+		// Bergman Eq. 11.32 approximation.
+		n22 := math.Pow(ntu, 0.22)
+		return 1 - math.Exp(n22/cr*(math.Exp(-cr*math.Pow(ntu, 0.78))-1)), nil
+	case CrossFlowCmaxMixed:
+		return (1 / cr) * (1 - math.Exp(-cr*(1-math.Exp(-ntu)))), nil
+	case CounterFlow:
+		if math.Abs(cr-1) < 1e-12 {
+			return ntu / (1 + ntu), nil
+		}
+		e := math.Exp(-ntu * (1 - cr))
+		return (1 - e) / (1 - cr*e), nil
+	case ParallelFlow:
+		return (1 - math.Exp(-ntu*(1+cr))) / (1 + cr), nil
+	default:
+		return 0, fmt.Errorf("thermal: unknown arrangement %v", arr)
+	}
+}

@@ -1,0 +1,221 @@
+// Package trace provides the timestamped multi-channel time-series
+// container shared by the drive-cycle generator, the predictors and the
+// simulator, together with CSV encoding/decoding, resampling and
+// windowing utilities.
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// ErrEmpty is returned by operations that need a non-empty trace.
+var ErrEmpty = errors.New("trace: empty trace")
+
+// Trace is a uniformly or non-uniformly sampled multi-channel time
+// series. Times are seconds from the trace origin and must be strictly
+// increasing. Every sample row has exactly len(Channels) values.
+type Trace struct {
+	Channels []string    // channel names, e.g. "coolant_in_c"
+	Times    []float64   // seconds, strictly increasing
+	Values   [][]float64 // Values[i][c] is channel c at Times[i]
+}
+
+// New creates an empty trace with the given channel names.
+func New(channels ...string) *Trace {
+	return &Trace{Channels: append([]string(nil), channels...)}
+}
+
+// Len returns the number of samples.
+func (t *Trace) Len() int { return len(t.Times) }
+
+// Duration returns the time span covered by the trace, 0 when it holds
+// fewer than two samples.
+func (t *Trace) Duration() float64 {
+	if t.Len() < 2 {
+		return 0
+	}
+	return t.Times[t.Len()-1] - t.Times[0]
+}
+
+// ChannelIndex returns the index of the named channel or -1.
+func (t *Trace) ChannelIndex(name string) int {
+	for i, c := range t.Channels {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Append adds a sample. It returns an error if the timestamp does not
+// advance or the value count mismatches the channel count.
+func (t *Trace) Append(time float64, values ...float64) error {
+	if len(values) != len(t.Channels) {
+		return fmt.Errorf("trace: %d values for %d channels", len(values), len(t.Channels))
+	}
+	if n := t.Len(); n > 0 && time <= t.Times[n-1] {
+		return fmt.Errorf("trace: non-increasing time %g after %g", time, t.Times[n-1])
+	}
+	t.Times = append(t.Times, time)
+	t.Values = append(t.Values, append([]float64(nil), values...))
+	return nil
+}
+
+// Column returns a copy of the named channel's values. The boolean is
+// false if the channel does not exist.
+func (t *Trace) Column(name string) ([]float64, bool) {
+	idx := t.ChannelIndex(name)
+	if idx < 0 {
+		return nil, false
+	}
+	out := make([]float64, t.Len())
+	for i, row := range t.Values {
+		out[i] = row[idx]
+	}
+	return out, true
+}
+
+// At linearly interpolates every channel at the given time. Times outside
+// the trace clamp to the first/last sample. It returns ErrEmpty on an
+// empty trace.
+func (t *Trace) At(time float64) ([]float64, error) {
+	n := t.Len()
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if time <= t.Times[0] {
+		return append([]float64(nil), t.Values[0]...), nil
+	}
+	if time >= t.Times[n-1] {
+		return append([]float64(nil), t.Values[n-1]...), nil
+	}
+	// Binary search for the bracketing interval.
+	hi := sort.SearchFloat64s(t.Times, time)
+	lo := hi - 1
+	span := t.Times[hi] - t.Times[lo]
+	frac := (time - t.Times[lo]) / span
+	out := make([]float64, len(t.Channels))
+	for c := range out {
+		a, b := t.Values[lo][c], t.Values[hi][c]
+		out[c] = a + (b-a)*frac
+	}
+	return out, nil
+}
+
+// Resample returns a new trace sampled every dt seconds from the first to
+// the last timestamp (inclusive of the start, exclusive of points beyond
+// the end), using linear interpolation.
+func (t *Trace) Resample(dt float64) (*Trace, error) {
+	if t.Len() == 0 {
+		return nil, ErrEmpty
+	}
+	if dt <= 0 {
+		return nil, fmt.Errorf("trace: non-positive resample step %g", dt)
+	}
+	out := New(t.Channels...)
+	end := t.Times[t.Len()-1]
+	for time := t.Times[0]; time <= end+1e-9; time += dt {
+		row, err := t.At(time)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.Append(time, row...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Slice returns the sub-trace with t0 <= time < t1 (sample boundaries,
+// no interpolation).
+func (t *Trace) Slice(t0, t1 float64) *Trace {
+	out := New(t.Channels...)
+	for i, time := range t.Times {
+		if time >= t0 && time < t1 {
+			out.Times = append(out.Times, time)
+			out.Values = append(out.Values, append([]float64(nil), t.Values[i]...))
+		}
+	}
+	return out
+}
+
+// ScaleChannel returns a copy of the trace with every value of the named
+// channel multiplied by factor.
+func (t *Trace) ScaleChannel(name string, factor float64) (*Trace, error) {
+	idx := t.ChannelIndex(name)
+	if idx < 0 {
+		return nil, fmt.Errorf("trace: unknown channel %q", name)
+	}
+	out := New(t.Channels...)
+	out.Times = append([]float64(nil), t.Times...)
+	out.Values = make([][]float64, len(t.Values))
+	for i, row := range t.Values {
+		nr := append([]float64(nil), row...)
+		nr[idx] *= factor
+		out.Values[i] = nr
+	}
+	return out, nil
+}
+
+// WriteCSV encodes the trace as CSV with a header row ("time_s" followed
+// by the channel names).
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"time_s"}, t.Channels...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for i, time := range t.Times {
+		rec[0] = strconv.FormatFloat(time, 'g', -1, 64)
+		for c, v := range t.Values[i] {
+			rec[c+1] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if len(header) < 2 || header[0] != "time_s" {
+		return nil, fmt.Errorf("trace: malformed header %v", header)
+	}
+	t := New(header[1:]...)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			return t, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		time, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d time: %w", line, err)
+		}
+		vals := make([]float64, len(rec)-1)
+		for i, s := range rec[1:] {
+			vals[i], err = strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d col %d: %w", line, i+1, err)
+			}
+		}
+		if err := t.Append(time, vals...); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildTestTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr := New("a", "b")
+	for i := 0; i < 5; i++ {
+		if err := tr.Append(float64(i), float64(i)*2, float64(i)*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func TestAppendAndLen(t *testing.T) {
+	tr := buildTestTrace(t)
+	if tr.Len() != 5 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if tr.Duration() != 4 {
+		t.Errorf("Duration = %v", tr.Duration())
+	}
+}
+
+func TestAppendRejectsWrongArity(t *testing.T) {
+	tr := New("a", "b")
+	if err := tr.Append(0, 1); err == nil {
+		t.Error("expected arity error")
+	}
+}
+
+func TestAppendRejectsNonIncreasingTime(t *testing.T) {
+	tr := New("a")
+	if err := tr.Append(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Append(1, 2); err == nil {
+		t.Error("expected non-increasing time error")
+	}
+	if err := tr.Append(0.5, 2); err == nil {
+		t.Error("expected decreasing time error")
+	}
+}
+
+func TestChannelIndexAndColumn(t *testing.T) {
+	tr := buildTestTrace(t)
+	if tr.ChannelIndex("b") != 1 {
+		t.Errorf("index of b = %d", tr.ChannelIndex("b"))
+	}
+	if tr.ChannelIndex("zz") != -1 {
+		t.Error("missing channel should be -1")
+	}
+	col, ok := tr.Column("b")
+	if !ok || len(col) != 5 || col[2] != 6 {
+		t.Errorf("Column(b) = %v, %v", col, ok)
+	}
+	if _, ok := tr.Column("zz"); ok {
+		t.Error("missing channel should report !ok")
+	}
+}
+
+func TestColumnIsCopy(t *testing.T) {
+	tr := buildTestTrace(t)
+	col, _ := tr.Column("a")
+	col[0] = 999
+	again, _ := tr.Column("a")
+	if again[0] == 999 {
+		t.Error("Column must return a copy")
+	}
+}
+
+func TestAtInterpolates(t *testing.T) {
+	tr := buildTestTrace(t)
+	row, err := tr.At(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(row[0]-3) > 1e-12 || math.Abs(row[1]-4.5) > 1e-12 {
+		t.Errorf("At(1.5) = %v", row)
+	}
+}
+
+func TestAtClamps(t *testing.T) {
+	tr := buildTestTrace(t)
+	lo, _ := tr.At(-100)
+	hi, _ := tr.At(100)
+	if lo[0] != 0 || hi[0] != 8 {
+		t.Errorf("clamp: %v / %v", lo, hi)
+	}
+}
+
+func TestAtEmpty(t *testing.T) {
+	tr := New("a")
+	if _, err := tr.At(0); !errors.Is(err, ErrEmpty) {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+}
+
+func TestAtExactSamplePoints(t *testing.T) {
+	tr := buildTestTrace(t)
+	for i := 0; i < tr.Len(); i++ {
+		row, err := tr.At(tr.Times[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row[0] != tr.Values[i][0] {
+			t.Errorf("At(%v) = %v, want %v", tr.Times[i], row[0], tr.Values[i][0])
+		}
+	}
+}
+
+func TestResample(t *testing.T) {
+	tr := buildTestTrace(t)
+	rs, err := tr.Resample(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 9 {
+		t.Fatalf("resampled len = %d, want 9", rs.Len())
+	}
+	if math.Abs(rs.Values[1][0]-1) > 1e-9 { // t=0.5 → a=1
+		t.Errorf("resampled value = %v", rs.Values[1][0])
+	}
+}
+
+func TestResampleErrors(t *testing.T) {
+	tr := New("a")
+	if _, err := tr.Resample(0.5); !errors.Is(err, ErrEmpty) {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+	tr2 := buildTestTrace(t)
+	if _, err := tr2.Resample(0); err == nil {
+		t.Error("want error for dt=0")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	tr := buildTestTrace(t)
+	s := tr.Slice(1, 3)
+	if s.Len() != 2 || s.Times[0] != 1 || s.Times[1] != 2 {
+		t.Errorf("Slice = %v", s.Times)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := buildTestTrace(t)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() || len(back.Channels) != 2 {
+		t.Fatalf("round trip shape: %d samples, %d channels", back.Len(), len(back.Channels))
+	}
+	for i := range tr.Times {
+		if back.Times[i] != tr.Times[i] {
+			t.Errorf("time[%d] = %v", i, back.Times[i])
+		}
+		for c := range tr.Channels {
+			if back.Values[i][c] != tr.Values[i][c] {
+				t.Errorf("val[%d][%d] = %v", i, c, back.Values[i][c])
+			}
+		}
+	}
+}
+
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		tr := New("x")
+		time := 0.0
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			if err := tr.Append(time, v); err != nil {
+				return false
+			}
+			time++
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if back.Len() != tr.Len() {
+			return false
+		}
+		for i := range tr.Values {
+			if back.Values[i][0] != tr.Values[i][0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadCSVMalformed(t *testing.T) {
+	cases := []string{
+		"",                     // no header
+		"bogus,a\n0,1\n",       // wrong first column
+		"time_s\n",             // no channels
+		"time_s,a\nxx,1\n",     // bad time
+		"time_s,a\n0,zz\n",     // bad value
+		"time_s,a\n1,1\n0,2\n", // decreasing time
+		"time_s,a\n0,1\n0,2\n", // duplicate time
+	}
+	for _, src := range cases {
+		if _, err := ReadCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestDurationDegenerate(t *testing.T) {
+	tr := New("a")
+	if tr.Duration() != 0 {
+		t.Error("empty duration != 0")
+	}
+	tr.Append(5, 1)
+	if tr.Duration() != 0 {
+		t.Error("single-sample duration != 0")
+	}
+}
+
+func TestScaleChannel(t *testing.T) {
+	tr := buildTestTrace(t)
+	scaled, err := tr.ScaleChannel("b", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Values {
+		if scaled.Values[i][1] != tr.Values[i][1]*2 {
+			t.Fatalf("sample %d not scaled", i)
+		}
+		if scaled.Values[i][0] != tr.Values[i][0] {
+			t.Fatalf("sample %d: untouched channel changed", i)
+		}
+	}
+	// Original untouched (deep copy).
+	scaled.Values[0][0] = 999
+	if tr.Values[0][0] == 999 {
+		t.Error("ScaleChannel shares storage")
+	}
+}
+
+func TestScaleChannelUnknown(t *testing.T) {
+	tr := buildTestTrace(t)
+	if _, err := tr.ScaleChannel("zz", 2); err == nil {
+		t.Error("unknown channel should error")
+	}
+}

@@ -1,0 +1,186 @@
+// Package tegrecon is the public API of the TEG-reconfiguration library:
+// a Go reproduction of "Prediction-Based Fast Thermoelectric Generator
+// Reconfiguration for Energy Harvesting from Vehicle Radiators"
+// (DATE 2018).
+//
+// The package re-exports the stable surface of the internal packages:
+// the radiator/TEG plant model, the reconfiguration controllers (INOR,
+// DNOR, EHTR, static baseline), the temperature predictors (MLR, BPNN,
+// SVR), the drive-cycle generator and the closed-loop simulator.
+//
+// Quick start:
+//
+//	tr, _ := tegrecon.SynthesizeDrive(tegrecon.DefaultDriveConfig())
+//	sys := tegrecon.DefaultSystem()
+//	ctrl, _ := tegrecon.NewDNORController(sys, 4)
+//	res, _ := tegrecon.Simulate(sys, tr, ctrl, tegrecon.DefaultSimOptions())
+//	fmt.Printf("harvested %.1f J with %d switches\n", res.EnergyOutJ, res.SwitchEvents)
+package tegrecon
+
+import (
+	"tegrecon/internal/array"
+	"tegrecon/internal/charger"
+	"tegrecon/internal/converter"
+	"tegrecon/internal/core"
+	"tegrecon/internal/drive"
+	"tegrecon/internal/experiments"
+	"tegrecon/internal/faults"
+	"tegrecon/internal/predict"
+	"tegrecon/internal/sim"
+	"tegrecon/internal/switchfab"
+	"tegrecon/internal/teg"
+	"tegrecon/internal/thermal"
+	"tegrecon/internal/trace"
+)
+
+// Re-exported plant types.
+type (
+	// System is the physical rig: radiator, modules, converter, switch
+	// fabric overhead model.
+	System = sim.System
+	// SimOptions tunes a simulation run.
+	SimOptions = sim.Options
+	// SimResult is one scheme's run summary (a Table I column).
+	SimResult = sim.Result
+	// SimTick is the per-control-period record (Figs. 6–7 data).
+	SimTick = sim.Tick
+	// Controller decides the array topology every control period.
+	Controller = core.Controller
+	// Decision is a controller's per-period output.
+	Decision = core.Decision
+	// ModuleSpec is a TEG module datasheet model.
+	ModuleSpec = teg.ModuleSpec
+	// Radiator is the finned-tube cross-flow heat-exchanger model.
+	Radiator = thermal.Radiator
+	// RadiatorConditions are the per-instant boundary conditions.
+	RadiatorConditions = thermal.Conditions
+	// ConverterModel is the LTM4607-style charger efficiency model.
+	ConverterModel = converter.Model
+	// OverheadModel prices switching events.
+	OverheadModel = switchfab.OverheadModel
+	// Trace is a multi-channel time series (drive traces).
+	Trace = trace.Trace
+	// DriveConfig parameterises the synthetic drive-cycle generator.
+	DriveConfig = drive.SynthConfig
+	// Predictor forecasts temperature distributions.
+	Predictor = predict.Predictor
+	// ExperimentSetup bundles a full Section VI experiment.
+	ExperimentSetup = experiments.Setup
+	// FaultPlan schedules module failures for a simulation run.
+	FaultPlan = faults.Plan
+	// ChargeProfile is the three-stage lead-acid charging schedule.
+	ChargeProfile = charger.Profile
+	// ModuleHealth is a module failure state.
+	ModuleHealth = array.ModuleHealth
+)
+
+// TGM199 is the TGM-199-1.4-0.8 module model the paper uses.
+var TGM199 = teg.TGM199
+
+// DefaultSystem returns the paper's 100-module experimental rig.
+func DefaultSystem() *System { return sim.DefaultSystem() }
+
+// DefaultSimOptions returns the paper's control settings (0.5 s period).
+func DefaultSimOptions() SimOptions { return sim.DefaultOptions() }
+
+// DefaultDriveConfig returns the 800 s warm-start urban drive.
+func DefaultDriveConfig() DriveConfig { return drive.DefaultSynthConfig() }
+
+// SynthesizeDrive generates a repeatable synthetic drive trace.
+func SynthesizeDrive(cfg DriveConfig) (*Trace, error) { return drive.Synthesize(cfg) }
+
+// Simulate runs one controller over a drive trace on the given system.
+func Simulate(sys *System, tr *Trace, ctrl Controller, opts SimOptions) (*SimResult, error) {
+	return sim.Run(sys, tr, ctrl, opts)
+}
+
+// NewINORController builds the O(N) instantaneous reconfiguration
+// controller (Algorithm 1) for the system.
+func NewINORController(sys *System) (Controller, error) {
+	eval, err := core.NewEvaluator(sys.Spec, sys.Conv)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewINOR(eval)
+}
+
+// NewEHTRController builds the prior-work O(N³) reconstruction.
+func NewEHTRController(sys *System) (Controller, error) {
+	eval, err := core.NewEvaluator(sys.Spec, sys.Conv)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewEHTR(eval)
+}
+
+// NewDNORController builds the paper's prediction-based controller
+// (Algorithm 2) with the MLR predictor, forecasting horizonTicks control
+// periods ahead.
+func NewDNORController(sys *System, horizonTicks int) (Controller, error) {
+	eval, err := core.NewEvaluator(sys.Spec, sys.Conv)
+	if err != nil {
+		return nil, err
+	}
+	mlr, err := predict.NewMLR(predict.DefaultMLROptions())
+	if err != nil {
+		return nil, err
+	}
+	return core.NewDNOR(eval, core.DNOROptions{
+		Predictor:    mlr,
+		HorizonTicks: horizonTicks,
+		TickSeconds:  sim.DefaultOptions().TickSeconds,
+		Overhead:     sys.Overhead,
+	})
+}
+
+// NewDNORControllerWith is NewDNORController with a caller-chosen
+// predictor (MLR, BPNN, SVR, or a custom implementation) and control
+// period.
+func NewDNORControllerWith(sys *System, p Predictor, horizonTicks int, tickSeconds float64) (Controller, error) {
+	eval, err := core.NewEvaluator(sys.Spec, sys.Conv)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewDNOR(eval, core.DNOROptions{
+		Predictor:    p,
+		HorizonTicks: horizonTicks,
+		TickSeconds:  tickSeconds,
+		Overhead:     sys.Overhead,
+	})
+}
+
+// NewBaselineController builds the static 10×10 baseline.
+func NewBaselineController(sys *System) (Controller, error) {
+	return core.NewBaseline10x10(sys.Modules)
+}
+
+// NewMLRPredictor builds the paper's selected predictor with default
+// tuning (AR order 4, 60-tick window).
+func NewMLRPredictor() (Predictor, error) { return predict.NewMLR(predict.DefaultMLROptions()) }
+
+// NewBPNNPredictor builds the neural-network comparison predictor.
+func NewBPNNPredictor() (Predictor, error) { return predict.NewBPNN(predict.DefaultBPNNOptions()) }
+
+// NewSVRPredictor builds the support-vector comparison predictor.
+func NewSVRPredictor() (Predictor, error) { return predict.NewSVR(predict.DefaultSVROptions()) }
+
+// NewHoltPredictor builds the double-exponential-smoothing comparison
+// predictor (an extension beyond the paper's three methods).
+func NewHoltPredictor() (Predictor, error) { return predict.NewHolt(predict.DefaultHoltOptions()) }
+
+// DefaultExperimentSetup builds the full Section VI rig (system + 800 s
+// trace + options), the entry point for regenerating the paper's tables
+// and figures programmatically.
+func DefaultExperimentSetup() (*ExperimentSetup, error) { return experiments.DefaultSetup() }
+
+// NewRandomFaultPlan schedules `count` random module failures (open and
+// short, distinct modules) over a drive of the given duration; wire the
+// result into SimOptions.FaultPlan.
+func NewRandomFaultPlan(modules, count int, duration float64, seed int64) (*FaultPlan, error) {
+	return faults.RandomPlan(modules, count, duration, seed)
+}
+
+// DefaultChargeProfile returns the standard 14.4 V bulk/absorption,
+// 13.8 V float lead-acid schedule; wire it into
+// SimOptions.ChargeProfile (requires SimOptions.Battery).
+func DefaultChargeProfile() ChargeProfile { return charger.DefaultProfile() }

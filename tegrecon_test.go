@@ -1,0 +1,121 @@
+package tegrecon
+
+import "testing"
+
+func shortDrive(t *testing.T) *Trace {
+	t.Helper()
+	cfg := DefaultDriveConfig()
+	cfg.Duration = 60
+	tr, err := SynthesizeDrive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestFacadeQuickstartPath(t *testing.T) {
+	sys := DefaultSystem()
+	tr := shortDrive(t)
+	ctrl, err := NewDNORController(sys, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(sys, tr, ctrl, DefaultSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnergyOutJ <= 0 {
+		t.Error("facade run harvested nothing")
+	}
+	if res.Scheme != "DNOR" {
+		t.Error(res.Scheme)
+	}
+}
+
+func TestFacadeAllControllers(t *testing.T) {
+	sys := DefaultSystem()
+	tr := shortDrive(t)
+	builders := []func() (Controller, error){
+		func() (Controller, error) { return NewINORController(sys) },
+		func() (Controller, error) { return NewEHTRController(sys) },
+		func() (Controller, error) { return NewBaselineController(sys) },
+	}
+	for i, build := range builders {
+		ctrl, err := build()
+		if err != nil {
+			t.Fatalf("builder %d: %v", i, err)
+		}
+		res, err := Simulate(sys, tr, ctrl, DefaultSimOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", ctrl.Name(), err)
+		}
+		if res.EnergyOutJ <= 0 {
+			t.Errorf("%s harvested nothing", ctrl.Name())
+		}
+	}
+}
+
+func TestFacadePredictors(t *testing.T) {
+	sys := DefaultSystem()
+	tr := shortDrive(t)
+	for _, build := range []func() (Predictor, error){NewMLRPredictor, NewBPNNPredictor, NewSVRPredictor} {
+		p, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrl, err := NewDNORControllerWith(sys, p, 4, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Simulate(sys, tr, ctrl, DefaultSimOptions()); err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+	}
+}
+
+func TestFacadeModuleSpec(t *testing.T) {
+	if TGM199.Name != "TGM-199-1.4-0.8" {
+		t.Error(TGM199.Name)
+	}
+	if err := TGM199.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeExperimentSetup(t *testing.T) {
+	s, err := DefaultExperimentSetup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Sys.Modules != 100 {
+		t.Errorf("modules = %d", s.Sys.Modules)
+	}
+}
+
+func TestFacadeFaultsAndCharger(t *testing.T) {
+	sys := DefaultSystem()
+	tr := shortDrive(t)
+	plan, err := NewRandomFaultPlan(sys.Modules, 10, tr.Duration(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultSimOptions()
+	opts.FaultPlan = plan
+	opts.Battery = true
+	profile := DefaultChargeProfile()
+	opts.ChargeProfile = &profile
+	ctrl, err := NewINORController(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(sys, tr, ctrl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnergyOutJ <= 0 || res.BatteryJ <= 0 {
+		t.Errorf("fault+charger run: energy %v, battery %v", res.EnergyOutJ, res.BatteryJ)
+	}
+	if res.AvgTEGEff <= 0 {
+		t.Error("missing conversion-efficiency report")
+	}
+}
