@@ -30,6 +30,7 @@ func main() {
 		start   = flag.Float64("start", 20, "window start for figs 6/7 (s)")
 		end     = flag.Float64("end", 140, "window end for figs 6/7 (s)")
 		horizon = flag.Int("horizon", 2, "prediction horizon for fig 5 (ticks)")
+		workers = flag.Int("workers", 1, "worker pool for independent runs: 1 = serial (runtime-faithful overhead accounting), 0 = all CPUs")
 	)
 	flag.Parse()
 
@@ -43,9 +44,9 @@ func main() {
 	case "5":
 		err = emitFig5(w, *horizon)
 	case "6":
-		err = emitFig6or7(w, *start, *end, false)
+		err = emitFig6or7(w, *start, *end, false, *workers)
 	case "7":
-		err = emitFig6or7(w, *start, *end, true)
+		err = emitFig6or7(w, *start, *end, true, *workers)
 	case "scaling":
 		err = emitScaling(w)
 	default:
@@ -102,11 +103,12 @@ func emitFig5(w *csv.Writer, horizon int) error {
 	return nil
 }
 
-func emitFig6or7(w *csv.Writer, start, end float64, ratio bool) error {
+func emitFig6or7(w *csv.Writer, start, end float64, ratio bool, workers int) error {
 	setup, err := experiments.DefaultSetup()
 	if err != nil {
 		return err
 	}
+	setup.Opts.Workers = workers
 	res, err := experiments.Fig6PowerSeries(setup, start, end)
 	if err != nil {
 		return err

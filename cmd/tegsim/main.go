@@ -7,6 +7,8 @@
 // Usage:
 //
 //	tegsim [-duration 800] [-modules 100] [-seed 42] [-tick 0.5] [-horizon 4]
+//	       [-study table1|faults|seeds|margins|bank|horizon|predictors]
+//	       [-workers 1] [-format text|csv|json]
 package main
 
 import (
@@ -33,6 +35,7 @@ func main() {
 		failures = flag.Int("failures", 15, "module failures for -study faults")
 		seeds    = flag.Int("seeds", 5, "trace count for -study seeds")
 		format   = flag.String("format", "text", "output format: text, csv or json")
+		workers  = flag.Int("workers", 1, "worker pool for independent runs: 1 = serial (runtime-faithful overhead accounting), 0 = all CPUs")
 	)
 	flag.Parse()
 
@@ -50,6 +53,7 @@ func main() {
 	setup.Trace = tr
 	setup.Sys.Modules = *modules
 	setup.Opts.TickSeconds = *tick
+	setup.Opts.Workers = *workers
 	setup.HorizonTicks = *horizon
 
 	var tab *report.Table

@@ -1,0 +1,3 @@
+module tegrecon
+
+go 1.24

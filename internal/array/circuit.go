@@ -149,9 +149,17 @@ func (a *Array) ModuleCurrents(cfg Config, iOut float64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	return a.ModuleCurrentsAt(eq, cfg, iOut), nil
+}
+
+// ModuleCurrentsAt is ModuleCurrents evaluated against an already
+// computed Equivalent of cfg — the evaluator's inner loop prices every
+// candidate off one Equivalent and reuses it here instead of re-deriving
+// the whole Thevenin chain per question.
+func (a *Array) ModuleCurrentsAt(eq Equivalent, cfg Config, iOut float64) []float64 {
 	out := make([]float64, a.N())
 	if eq.Broken {
-		return out, nil
+		return out
 	}
 	for j, g := range eq.Groups {
 		vg := g.Voc - iOut*g.R
@@ -164,23 +172,41 @@ func (a *Array) ModuleCurrents(cfg Config, iOut float64) ([]float64, error) {
 			out[m] = vgm - vg*gm
 		}
 	}
-	return out, nil
+	return out
 }
 
 // HasReverseCurrent reports whether any module would be driven below
 // zero current (absorbing power — the failure mode of Fig. 3) when the
 // array delivers iOut under cfg.
 func (a *Array) HasReverseCurrent(cfg Config, iOut float64) (bool, error) {
-	currents, err := a.ModuleCurrents(cfg, iOut)
+	eq, err := a.Equivalent(cfg)
 	if err != nil {
 		return false, err
 	}
-	for _, c := range currents {
-		if c < -1e-9 {
-			return true, nil
+	return a.HasReverseCurrentAt(eq, cfg, iOut), nil
+}
+
+// HasReverseCurrentAt is HasReverseCurrent against an already computed
+// Equivalent of cfg. It needs no module-current scratch: within group j
+// the module current (Voc,m − V_g)·g_m is checked on the fly.
+func (a *Array) HasReverseCurrentAt(eq Equivalent, cfg Config, iOut float64) bool {
+	if eq.Broken {
+		return false
+	}
+	for j, g := range eq.Groups {
+		vg := g.Voc - iOut*g.R
+		lo, hi := cfg.GroupBounds(j)
+		for m := lo; m < hi; m++ {
+			gm, vgm, conducts := a.contribution(m)
+			if !conducts {
+				continue
+			}
+			if vgm-vg*gm < -1e-9 {
+				return true
+			}
 		}
 	}
-	return false, nil
+	return false
 }
 
 // PowerAtCurrent returns the array output power at current iOut under

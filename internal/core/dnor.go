@@ -32,6 +32,12 @@ type DNOR struct {
 
 	cur       *array.Config
 	lastPower float64 // delivered power estimate for overhead pricing
+
+	// Scratch reused across windowEnergy steps: pricing a decision builds
+	// 2·(tp+1) throwaway arrays, which used to dominate the controller's
+	// allocations.
+	scratchOps []teg.OperatingPoint
+	scratchArr array.Array
 }
 
 // DNOROptions configures the controller.
@@ -175,12 +181,12 @@ func (c *DNOR) Decide(tick int, tempsC []float64, ambientC float64) (Decision, e
 func (c *DNOR) windowEnergy(cfg array.Config, window [][]float64, ambientC float64) (float64, error) {
 	total := 0.0
 	for _, temps := range window {
-		ops := teg.OpsFromTemps(temps, ambientC)
-		arr, err := array.New(c.eval.Spec, ops)
-		if err != nil {
-			return 0, err
-		}
-		op, err := c.eval.Best(arr, cfg)
+		// The evaluator's spec was validated at construction, so the
+		// Array value is assembled in place over the reused scratch
+		// buffer instead of going through array.New every step.
+		c.scratchOps = teg.OpsFromTempsInto(c.scratchOps, temps, ambientC)
+		c.scratchArr = array.Array{Spec: c.eval.Spec, Ops: c.scratchOps}
+		op, err := c.eval.Best(&c.scratchArr, cfg)
 		if err != nil {
 			return 0, err
 		}

@@ -82,10 +82,7 @@ func (e *Evaluator) Best(arr *array.Array, cfg array.Config) (Operating, error) 
 	lo := math.Max(0, bestI-isc/coarse)
 	hi := math.Min(isc, bestI+isc/coarse)
 	i, p := units.GoldenMax(delivered, lo, hi, isc*1e-7)
-	rev, err := arr.HasReverseCurrent(cfg, i)
-	if err != nil {
-		return Operating{}, err
-	}
+	rev := arr.HasReverseCurrentAt(eq, cfg, i)
 	v := eq.VoltageAt(i)
 	return Operating{
 		Current:   i,

@@ -13,7 +13,6 @@ import (
 type Static struct {
 	name string
 	cfg  array.Config
-	sent bool
 }
 
 // NewStatic wraps a fixed configuration as a Controller.
@@ -45,23 +44,21 @@ func NewBaseline10x10(nModules int) (*Static, error) {
 func (c *Static) Name() string { return c.name }
 
 // Reset implements Controller.
-func (c *Static) Reset() { c.sent = false }
+func (c *Static) Reset() {}
 
-// Decide implements Controller: always the fixed configuration; the
-// compute time is effectively zero and only the very first period
-// counts as a (commissioning) switch.
+// Decide implements Controller: always the fixed configuration with
+// effectively zero compute time. Switched is never reported — the
+// paper's baseline is a hard-wired array with no switch fabric (Table I
+// prints "/" for its overhead), so unlike the reconfiguring schemes it
+// has no power-on commissioning reprogram to price.
 func (c *Static) Decide(tick int, tempsC []float64, ambientC float64) (Decision, error) {
 	start := time.Now()
 	if len(tempsC) != c.cfg.N {
 		return Decision{}, fmt.Errorf("core: %d temperatures for %d-module baseline", len(tempsC), c.cfg.N)
 	}
-	d := Decision{
+	return Decision{
 		Config:      c.cfg,
 		Switched:    false,
 		ComputeTime: time.Since(start),
-	}
-	if !c.sent {
-		c.sent = true
-	}
-	return d, nil
+	}, nil
 }

@@ -86,7 +86,7 @@ type HorizonPoint struct {
 // trace. Horizon 1 is the shortest durable window; larger horizons
 // amortise switches further but lean harder on forecast quality.
 func HorizonAblation(s *Setup, horizons []int) ([]HorizonPoint, error) {
-	out := make([]HorizonPoint, 0, len(horizons))
+	jobs := make([]sim.Job, 0, len(horizons))
 	for _, h := range horizons {
 		setup := *s
 		setup.HorizonTicks = h
@@ -94,15 +94,19 @@ func HorizonAblation(s *Setup, horizons []int) ([]HorizonPoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := sim.Run(setup.Sys, setup.Trace, dnor, setup.Opts)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, sim.Job{Sys: s.Sys, Trace: s.Trace, Ctrl: dnor, Opts: s.Opts})
+	}
+	results, err := sim.Batch{Workers: s.Opts.Workers}.Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]HorizonPoint, 0, len(horizons))
+	for i, h := range horizons {
 		out = append(out, HorizonPoint{
 			HorizonTicks: h,
-			EnergyOutJ:   res.EnergyOutJ,
-			OverheadJ:    res.OverheadJ,
-			SwitchEvents: res.SwitchEvents,
+			EnergyOutJ:   results[i].EnergyOutJ,
+			OverheadJ:    results[i].OverheadJ,
+			SwitchEvents: results[i].SwitchEvents,
 		})
 	}
 	return out, nil
@@ -145,21 +149,25 @@ func PredictorAblation(s *Setup) ([]PredictorPoint, error) {
 		return nil, err
 	}
 	preds := []predict.Predictor{mlr, bpnn, svr, holt, predict.NewHold(), oracle}
-	out := make([]PredictorPoint, 0, len(preds))
+	jobs := make([]sim.Job, 0, len(preds))
 	for _, p := range preds {
 		dnor, err := s.NewDNORWith(p)
 		if err != nil {
 			return nil, err
 		}
-		res, err := sim.Run(s.Sys, s.Trace, dnor, s.Opts)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, sim.Job{Sys: s.Sys, Trace: s.Trace, Ctrl: dnor, Opts: s.Opts})
+	}
+	results, err := sim.Batch{Workers: s.Opts.Workers}.Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PredictorPoint, 0, len(preds))
+	for i, p := range preds {
 		out = append(out, PredictorPoint{
 			Predictor:    p.Name(),
-			EnergyOutJ:   res.EnergyOutJ,
-			OverheadJ:    res.OverheadJ,
-			SwitchEvents: res.SwitchEvents,
+			EnergyOutJ:   results[i].EnergyOutJ,
+			OverheadJ:    results[i].OverheadJ,
+			SwitchEvents: results[i].SwitchEvents,
 		})
 	}
 	return out, nil
@@ -175,11 +183,12 @@ type WindowPoint struct {
 // INOR's [nmin, nmax]) and measures delivered energy, demonstrating why
 // the group-count window matters (Section III.B).
 func WindowAblation(s *Setup, windows [][2]float64) ([]WindowPoint, error) {
-	out := make([]WindowPoint, 0, len(windows))
+	jobs := make([]sim.Job, 0, len(windows))
 	for _, w := range windows {
 		if w[1] <= w[0] {
 			return nil, fmt.Errorf("experiments: bad window [%g, %g]", w[0], w[1])
 		}
+		// Each job gets its own System copy carrying the narrowed band.
 		setup := *s
 		sysCopy := *s.Sys
 		sysCopy.Conv.MinInput = w[0]
@@ -189,11 +198,15 @@ func WindowAblation(s *Setup, windows [][2]float64) ([]WindowPoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := sim.Run(setup.Sys, setup.Trace, inor, setup.Opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, WindowPoint{MinInput: w[0], MaxInput: w[1], EnergyOutJ: res.EnergyOutJ})
+		jobs = append(jobs, sim.Job{Sys: setup.Sys, Trace: s.Trace, Ctrl: inor, Opts: s.Opts})
+	}
+	results, err := sim.Batch{Workers: s.Opts.Workers}.Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]WindowPoint, 0, len(windows))
+	for i, w := range windows {
+		out = append(out, WindowPoint{MinInput: w[0], MaxInput: w[1], EnergyOutJ: results[i].EnergyOutJ})
 	}
 	return out, nil
 }
@@ -217,7 +230,7 @@ func MarginAblation(s *Setup, marginsJ []float64) ([]MarginPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]MarginPoint, 0, len(marginsJ))
+	jobs := make([]sim.Job, 0, len(marginsJ))
 	for _, m := range marginsJ {
 		mlr, err := predict.NewMLR(predict.DefaultMLROptions())
 		if err != nil {
@@ -233,15 +246,19 @@ func MarginAblation(s *Setup, marginsJ []float64) ([]MarginPoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := sim.Run(s.Sys, s.Trace, dnor, s.Opts)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, sim.Job{Sys: s.Sys, Trace: s.Trace, Ctrl: dnor, Opts: s.Opts})
+	}
+	results, err := sim.Batch{Workers: s.Opts.Workers}.Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MarginPoint, 0, len(marginsJ))
+	for i, m := range marginsJ {
 		out = append(out, MarginPoint{
 			MarginJ:      m,
-			EnergyOutJ:   res.EnergyOutJ,
-			OverheadJ:    res.OverheadJ,
-			SwitchEvents: res.SwitchEvents,
+			EnergyOutJ:   results[i].EnergyOutJ,
+			OverheadJ:    results[i].OverheadJ,
+			SwitchEvents: results[i].SwitchEvents,
 		})
 	}
 	return out, nil

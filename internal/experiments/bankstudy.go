@@ -33,14 +33,16 @@ func BankStudy(s *Setup, paths int, levels []float64) ([]BankPoint, error) {
 	if paths < 2 {
 		return nil, fmt.Errorf("experiments: bank study needs ≥2 paths, got %d", paths)
 	}
-	out := make([]BankPoint, 0, len(levels))
-	for _, m := range levels {
+	// Flatten the whole study — every (level, path) pair contributes an
+	// independent INOR and baseline run — into one batch.
+	jobs := make([]sim.Job, 0, 2*paths*len(levels))
+	levelOf := make([]int, 0, 2*paths*len(levels))
+	for li, m := range levels {
 		bank := &thermal.Bank{Radiator: s.Sys.Radiator, Paths: paths, Maldistribution: m}
 		weights, err := bank.FlowWeights()
 		if err != nil {
 			return nil, err
 		}
-		p := BankPoint{Maldistribution: m, Paths: paths}
 		for _, w := range weights {
 			pathTrace, err := pathScaledTrace(s.Trace, w)
 			if err != nil {
@@ -50,25 +52,33 @@ func BankStudy(s *Setup, paths int, levels []float64) ([]BankPoint, error) {
 			if err != nil {
 				return nil, err
 			}
-			ri, err := sim.Run(s.Sys, pathTrace, inor, s.Opts)
-			if err != nil {
-				return nil, err
-			}
 			base, err := s.NewBaseline()
 			if err != nil {
 				return nil, err
 			}
-			rb, err := sim.Run(s.Sys, pathTrace, base, s.Opts)
-			if err != nil {
-				return nil, err
-			}
-			p.INOREnergyJ += ri.EnergyOutJ
-			p.BaselineEnergyJ += rb.EnergyOutJ
+			jobs = append(jobs,
+				sim.Job{Sys: s.Sys, Trace: pathTrace, Ctrl: inor, Opts: s.Opts},
+				sim.Job{Sys: s.Sys, Trace: pathTrace, Ctrl: base, Opts: s.Opts})
+			levelOf = append(levelOf, li, li)
 		}
-		if p.BaselineEnergyJ > 0 {
-			p.Gain = p.INOREnergyJ/p.BaselineEnergyJ - 1
+	}
+	results, err := sim.Batch{Workers: s.Opts.Workers}.Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BankPoint, len(levels))
+	for li, m := range levels {
+		out[li] = BankPoint{Maldistribution: m, Paths: paths}
+	}
+	for i := 0; i < len(results); i += 2 {
+		p := &out[levelOf[i]]
+		p.INOREnergyJ += results[i].EnergyOutJ
+		p.BaselineEnergyJ += results[i+1].EnergyOutJ
+	}
+	for i := range out {
+		if out[i].BaselineEnergyJ > 0 {
+			out[i].Gain = out[i].INOREnergyJ/out[i].BaselineEnergyJ - 1
 		}
-		out = append(out, p)
 	}
 	return out, nil
 }

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"math"
+	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -390,6 +392,29 @@ func TestSeedSweep(t *testing.T) {
 	}
 	if res.DNORBeatsINOR < res.Seeds-1 {
 		t.Errorf("DNOR beat INOR on only %d of %d seeds", res.DNORBeatsINOR, res.Seeds)
+	}
+}
+
+func TestSeedSweepParallelBitIdenticalToSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep is slow")
+	}
+	// The sweep prices overhead with deterministic runtime, so any worker
+	// count must reproduce the serial result exactly — not approximately.
+	s := shortSetup(t, 40)
+	s.Opts.Workers = 1
+	serial, err := SeedSweep(s, 3, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the concurrent path even on a single-CPU box.
+	s.Opts.Workers = max(4, runtime.NumCPU())
+	parallel, err := SeedSweep(s, 3, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("parallel sweep differs from serial:\n%+v\n%+v", parallel, serial)
 	}
 }
 

@@ -48,13 +48,12 @@ func FaultStudy(s *Setup, failures int, seed int64) ([]FaultPoint, error) {
 		return nil, err
 	}
 	schemes := []string{"DNOR", "INOR", "Baseline"}
-	out := make([]FaultPoint, 0, len(schemes))
+	// Two independent runs per scheme (healthy and faulted) — one batch.
+	faultOpts := s.Opts
+	faultOpts.FaultPlan = plan
+	jobs := make([]sim.Job, 0, 2*len(schemes))
 	for _, name := range schemes {
 		clean, err := s.buildController(name)
-		if err != nil {
-			return nil, err
-		}
-		healthy, err := sim.Run(s.Sys, s.Trace, clean, s.Opts)
 		if err != nil {
 			return nil, err
 		}
@@ -62,12 +61,17 @@ func FaultStudy(s *Setup, failures int, seed int64) ([]FaultPoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		faultOpts := s.Opts
-		faultOpts.FaultPlan = plan
-		fr, err := sim.Run(s.Sys, s.Trace, faulted, faultOpts)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs,
+			sim.Job{Sys: s.Sys, Trace: s.Trace, Ctrl: clean, Opts: s.Opts},
+			sim.Job{Sys: s.Sys, Trace: s.Trace, Ctrl: faulted, Opts: faultOpts})
+	}
+	results, err := sim.Batch{Workers: s.Opts.Workers}.Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FaultPoint, 0, len(schemes))
+	for i, name := range schemes {
+		healthy, fr := results[2*i], results[2*i+1]
 		p := FaultPoint{
 			Scheme:         name,
 			HealthyEnergyJ: healthy.EnergyOutJ,

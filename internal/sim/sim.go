@@ -90,11 +90,29 @@ type Options struct {
 	// the converter's output voltage through the three-stage lead-acid
 	// strategy instead of the fixed 13.8 V float.
 	ChargeProfile *charger.Profile
+	// Workers bounds the worker pool used when this Options value drives
+	// a batch of independent runs (RunAll, the experiments drivers): 0
+	// picks runtime.NumCPU(), 1 forces serial execution. A single Run
+	// ignores it. DefaultOptions picks 1 because overhead pricing charges
+	// the measured controller runtime (Section III.C), and concurrent
+	// sims competing for cores inflate that measurement; opt into
+	// parallelism where the accounting is deterministic (the seed sweep,
+	// DeterministicRuntime runs) or where throughput matters more than
+	// the runtime-priced decimals.
+	Workers int
+	// DeterministicRuntime drops the measured controller wall-clock from
+	// the physics: switching overhead is priced with zero compute time
+	// and the runtime statistics report zero. Everything else in a run
+	// is already driven by Seed, so with this set a Result is
+	// bit-reproducible — and a parallel batch bit-identical to a serial
+	// one. Leave it false to keep the paper's Section III.C accounting,
+	// where the algorithm's own runtime is part of the overhead.
+	DeterministicRuntime bool
 }
 
 // DefaultOptions returns the experimental settings.
 func DefaultOptions() Options {
-	return Options{TickSeconds: 0.5, SensorNoiseC: 0.1, Seed: 7, Battery: false}
+	return Options{TickSeconds: 0.5, SensorNoiseC: 0.1, Seed: 7, Battery: false, Workers: 1}
 }
 
 // Tick is the per-control-period record behind Figs. 6 and 7.
@@ -182,6 +200,13 @@ func Run(sys *System, tr *trace.Trace, ctrl core.Controller, opts Options) (*Res
 	var totalRuntime time.Duration
 	t0 := tr.Times[0]
 	sensed := make([]float64, sys.Modules)
+	// The fabric's power-on state: every boundary in parallel (the
+	// zero-energy default of Fig. 4's switch network). The first reprogram
+	// is priced against it, so commissioning a topology pays its real
+	// toggle count instead of a zero-toggle no-op.
+	powerOn := array.AllParallel(sys.Modules)
+	var opsBuf []teg.OperatingPoint // scratch reused across ticks
+	trackerIdled := false
 	for k := 0; k < ticks; k++ {
 		now := t0 + float64(k)*opts.TickSeconds
 		cond, err := drive.ConditionsAt(tr, now)
@@ -212,13 +237,18 @@ func Run(sys *System, tr *trace.Trace, ctrl core.Controller, opts Options) (*Res
 		if err != nil {
 			return nil, fmt.Errorf("sim: %s at t=%g: %w", ctrl.Name(), now, err)
 		}
-		totalRuntime += dec.ComputeTime
-		if dec.ComputeTime > res.MaxRuntime {
-			res.MaxRuntime = dec.ComputeTime
+		computeTime := dec.ComputeTime
+		if opts.DeterministicRuntime {
+			computeTime = 0
+		}
+		totalRuntime += computeTime
+		if computeTime > res.MaxRuntime {
+			res.MaxRuntime = computeTime
 		}
 
 		// Plant: true temperatures (and true health), chosen config.
-		arr, err := array.NewWithHealth(sys.Spec, teg.OpsFromTemps(temps, cond.AirInletC), health)
+		opsBuf = teg.OpsFromTempsInto(opsBuf, temps, cond.AirInletC)
+		arr, err := array.NewWithHealth(sys.Spec, opsBuf, health)
 		if err != nil {
 			return nil, err
 		}
@@ -237,8 +267,15 @@ func Run(sys *System, tr *trace.Trace, ctrl core.Controller, opts Options) (*Res
 			conv.OutputVoltage = opts.ChargeProfile.TargetVoltage(bat.SoC)
 		}
 		var gross, opCurrent float64
-		if !eq.Broken && eq.Voc > 0 && eq.R > 0 {
-			if tracker == nil || dec.Switched {
+		usable := !eq.Broken && eq.Voc > 0 && eq.R > 0
+		if usable {
+			// A topology change cold-restarts the tracker, and so does any
+			// recovery from an unusable circuit (a broken chain, or a
+			// zero-EMF spell with every module at ambient): while tracking
+			// was suspended the tracker slept on whatever circuit preceded
+			// the outage, so its search window's short-circuit current is
+			// stale and can clamp the recovered array far below its MPP.
+			if tracker == nil || dec.Switched || trackerIdled {
 				isc := eq.Voc / eq.R
 				tracker, err = mppt.New(mppt.DefaultOptions(isc))
 				if err != nil {
@@ -252,6 +289,7 @@ func Run(sys *System, tr *trace.Trace, ctrl core.Controller, opts Options) (*Res
 			op := tracker.Track(delivered)
 			gross, opCurrent = op.Power, op.Current
 		}
+		trackerIdled = !usable
 
 		if opts.SelfCheck {
 			if rel, err := arr.EnergyConservationCheck(dec.Config, opCurrent); err != nil || rel > 1e-6 {
@@ -263,11 +301,11 @@ func Run(sys *System, tr *trace.Trace, ctrl core.Controller, opts Options) (*Res
 		overheadJ := 0.0
 		toggles := 0
 		if dec.Switched {
-			prev := dec.Config
+			prev := powerOn
 			if prevCfg != nil {
 				prev = prevCfg.Config
 			}
-			cost, err := sys.Overhead.ForcedCost(prev, dec.Config, gross, dec.ComputeTime)
+			cost, err := sys.Overhead.ForcedCost(prev, dec.Config, gross, computeTime)
 			if err != nil {
 				return nil, err
 			}
@@ -298,7 +336,7 @@ func Run(sys *System, tr *trace.Trace, ctrl core.Controller, opts Options) (*Res
 			Switched: dec.Switched,
 			Toggles:  toggles,
 			Overhead: overheadJ,
-			Runtime:  dec.ComputeTime,
+			Runtime:  computeTime,
 			Groups:   dec.Config.Groups(),
 			TEGEff:   tegEff,
 		}
@@ -337,15 +375,13 @@ func Run(sys *System, tr *trace.Trace, ctrl core.Controller, opts Options) (*Res
 }
 
 // RunAll runs several controllers over the same trace — the Table I
-// driver.
+// driver. The runs are independent, so they execute on the batch engine
+// (see batch.go) with a pool bounded by opts.Workers; results keep the
+// controllers' order.
 func RunAll(sys *System, tr *trace.Trace, ctrls []core.Controller, opts Options) ([]*Result, error) {
-	out := make([]*Result, 0, len(ctrls))
-	for _, c := range ctrls {
-		r, err := Run(sys, tr, c, opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+	jobs := make([]Job, len(ctrls))
+	for i, c := range ctrls {
+		jobs[i] = Job{Sys: sys, Trace: tr, Ctrl: c, Opts: opts}
 	}
-	return out, nil
+	return Batch{Workers: opts.Workers}.Run(jobs)
 }

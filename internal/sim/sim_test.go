@@ -4,11 +4,13 @@ import (
 	"math"
 	"testing"
 
+	"tegrecon/internal/array"
 	"tegrecon/internal/charger"
 	"tegrecon/internal/core"
 	"tegrecon/internal/drive"
 	"tegrecon/internal/faults"
 	"tegrecon/internal/predict"
+	"tegrecon/internal/teg"
 	"tegrecon/internal/trace"
 )
 
@@ -295,6 +297,211 @@ func TestRunAll(t *testing.T) {
 	}
 	if len(rs) != 2 || rs[0].Scheme == rs[1].Scheme {
 		t.Errorf("RunAll results wrong: %+v", rs)
+	}
+}
+
+// fixedOnce programs one configuration on the first tick and holds it.
+type fixedOnce struct{ cfg array.Config }
+
+func (c *fixedOnce) Name() string { return "fixed" }
+func (c *fixedOnce) Reset()       {}
+func (c *fixedOnce) Decide(tick int, tempsC []float64, ambientC float64) (core.Decision, error) {
+	return core.Decision{Config: c.cfg, Switched: tick == 0}, nil
+}
+
+func TestFirstProgramPaysCommissioningToggles(t *testing.T) {
+	// The fabric powers on all-parallel, so the first reprogram must pay
+	// the real toggle count of its target topology — it used to be priced
+	// as a zero-toggle no-op (prev defaulted to the decided config).
+	sys := DefaultSystem()
+	sys.Modules = 20
+	tr := shortTrace(t)
+	cfg, err := array.Uniform(20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.DeterministicRuntime = true
+	res, err := Run(sys, tr, &fixedOnce{cfg: cfg}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform(20, 10) flips 9 of the 19 power-on parallel boundaries to
+	// series; each flip actuates all three of its switches.
+	const wantToggles = 9 * 3
+	if res.SwitchEvents != 1 {
+		t.Fatalf("switch events = %d, want 1", res.SwitchEvents)
+	}
+	if res.SwitchToggles != wantToggles {
+		t.Errorf("commissioning toggles = %d, want %d", res.SwitchToggles, wantToggles)
+	}
+	if res.Ticks[0].Toggles != wantToggles {
+		t.Errorf("first tick toggles = %d, want %d", res.Ticks[0].Toggles, wantToggles)
+	}
+	if min := float64(wantToggles) * sys.Overhead.SwitchEnergy; res.Ticks[0].Overhead <= min {
+		t.Errorf("first tick overhead %v J does not cover %v J of actuation energy", res.Ticks[0].Overhead, min)
+	}
+	for i, tk := range res.Ticks[1:] {
+		if tk.Toggles != 0 || tk.Switched {
+			t.Fatalf("tick %d: unexpected switching %+v", i+1, tk)
+		}
+	}
+}
+
+func TestMPPTReinitAfterFaultRecovery(t *testing.T) {
+	// Break a whole series group mid-run while the radiator heats up,
+	// then repair it. The P&O tracker slept through the outage on a
+	// search window sized for the cool pre-fault circuit; without a
+	// re-init at the broken→recovered transition its stale short-circuit
+	// current clamps the recovered array far below the new MPP.
+	sys := DefaultSystem()
+	sys.Modules = 20
+	tr := trace.New(drive.ChanCoolantInC, drive.ChanCoolantFlow, drive.ChanAmbientC, drive.ChanAirFlow)
+	for _, row := range [][]float64{
+		{0, 40, 0.05, 25, 0.5},
+		{5, 40, 0.05, 25, 0.5},
+		{20, 110, 0.05, 25, 0.5}, // coolant ramps hard during the outage
+		{30, 110, 0.05, 25, 0.5},
+	} {
+		if err := tr.Append(row[0], row[1:]...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctrl, err := core.NewBaseline10x10(sys.Modules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group 0 of the 10×2 baseline is modules {0, 1}: failing both open
+	// interrupts the series chain (eq.Broken) without any topology change.
+	plan, err := faults.NewPlan(sys.Modules, []faults.Event{
+		{TimeS: 5, Module: 0, To: array.FailedOpen},
+		{TimeS: 5, Module: 1, To: array.FailedOpen},
+		{TimeS: 20, Module: 0, To: array.Healthy},
+		{TimeS: 20, Module: 1, To: array.Healthy},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.SensorNoiseC = 0
+	opts.DeterministicRuntime = true
+	opts.FaultPlan = plan
+	res, err := Run(sys, tr, ctrl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tickAt := func(ts float64) Tick {
+		for _, tk := range res.Ticks {
+			if math.Abs(tk.Time-ts) < 1e-9 {
+				return tk
+			}
+		}
+		t.Fatalf("no tick at t=%v", ts)
+		return Tick{}
+	}
+	if tk := tickAt(10); tk.GrossW != 0 {
+		t.Fatalf("broken chain delivered %v W", tk.GrossW)
+	}
+	// Reference: the best deliverable power of the recovered circuit at
+	// t=25 (trace is flat after the ramp, so the tracker has had 5 s of
+	// settled conditions).
+	cond, err := drive.ConditionsAt(tr, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps, err := sys.Radiator.ModuleTemps(cond, sys.Modules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := array.New(sys.Spec, teg.OpsFromTemps(temps, cond.AirInletC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := newEval(t, sys)
+	cfg, err := array.Uniform(sys.Modules, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := eval.Best(arr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Delivered <= 0 {
+		t.Fatal("reference operating point delivers nothing")
+	}
+	if got := tickAt(25).GrossW; got < 0.9*best.Delivered {
+		t.Errorf("post-recovery power %v W is stuck below 90%% of the achievable %v W — stale MPPT window", got, best.Delivered)
+	}
+}
+
+func TestMPPTReinitAfterZeroEMFDip(t *testing.T) {
+	// Same staleness family without any fault: the whole array sits at
+	// ambient for a spell (zero EMF, tracking suspended), then the
+	// coolant ramps far past its pre-dip level. The tracker must restart
+	// on recovery instead of keeping the cool circuit's search window.
+	sys := DefaultSystem()
+	sys.Modules = 20
+	tr := trace.New(drive.ChanCoolantInC, drive.ChanCoolantFlow, drive.ChanAmbientC, drive.ChanAirFlow)
+	for _, row := range [][]float64{
+		{0, 40, 0.05, 25, 0.5},
+		{4, 40, 0.05, 25, 0.5},
+		{5, 25, 0.05, 25, 0.5}, // coolant falls to ambient: zero ΔT everywhere
+		{19, 25, 0.05, 25, 0.5},
+		{20, 110, 0.05, 25, 0.5},
+		{30, 110, 0.05, 25, 0.5},
+	} {
+		if err := tr.Append(row[0], row[1:]...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctrl, err := core.NewBaseline10x10(sys.Modules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.SensorNoiseC = 0
+	opts.DeterministicRuntime = true
+	res, err := Run(sys, tr, ctrl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mid, late Tick
+	for _, tk := range res.Ticks {
+		if math.Abs(tk.Time-10) < 1e-9 {
+			mid = tk
+		}
+		if math.Abs(tk.Time-25) < 1e-9 {
+			late = tk
+		}
+	}
+	if mid.GrossW != 0 {
+		t.Fatalf("zero-EMF spell delivered %v W", mid.GrossW)
+	}
+	cond, err := drive.ConditionsAt(tr, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps, err := sys.Radiator.ModuleTemps(cond, sys.Modules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := array.New(sys.Spec, teg.OpsFromTemps(temps, cond.AirInletC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := array.Uniform(sys.Modules, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := newEval(t, sys).Best(arr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Delivered <= 0 {
+		t.Fatal("reference operating point delivers nothing")
+	}
+	if late.GrossW < 0.9*best.Delivered {
+		t.Errorf("post-dip power %v W stuck below 90%% of the achievable %v W — stale MPPT window", late.GrossW, best.Delivered)
 	}
 }
 

@@ -217,15 +217,27 @@ func (s ModuleSpec) CurveFamily(ambientC float64, deltaTs []float64, n int) (map
 // below ambient clamp to zero ΔT (a module cannot harvest there, and the
 // paper's ΔT(i) = T(i) − Tamb never goes negative on a running engine).
 func OpsFromTemps(hotC []float64, ambientC float64) []OperatingPoint {
-	out := make([]OperatingPoint, len(hotC))
+	return OpsFromTempsInto(nil, hotC, ambientC)
+}
+
+// OpsFromTempsInto is OpsFromTemps writing into dst, reusing its backing
+// storage when the capacity suffices. The simulator and the controllers
+// convert one temperature vector per control tick (and DNOR one per
+// prediction-window step), so the per-call allocation dominates their
+// heap churn; a reused scratch slice removes it.
+func OpsFromTempsInto(dst []OperatingPoint, hotC []float64, ambientC float64) []OperatingPoint {
+	if cap(dst) < len(hotC) {
+		dst = make([]OperatingPoint, len(hotC))
+	}
+	dst = dst[:len(hotC)]
 	for i, h := range hotC {
 		dT := h - ambientC
 		if dT < 0 {
 			dT = 0
 		}
-		out[i] = OperatingPoint{DeltaT: dT, HotC: h}
+		dst[i] = OperatingPoint{DeltaT: dT, HotC: h}
 	}
-	return out
+	return dst
 }
 
 // IdealPower returns Σ MPP power over the operating points — the
