@@ -7,8 +7,16 @@
 // Usage:
 //
 //	tegsim [-duration 800] [-modules 100] [-seed 42] [-tick 0.5] [-horizon 4]
-//	       [-study table1|faults|seeds|margins|bank|horizon|predictors]
+//	       [-study table1|faults|seeds|margins|bank|horizon|predictors|scenarios]
 //	       [-workers 1] [-format text|csv|json]
+//	tegsim -scenarios [-scenario-duration 0] [-workers 0]
+//
+// -scenarios (or -study scenarios) runs every registered standard drive
+// cycle (NEDC, WLTC, FTP-75, HWFET, US06, delivery) under all four
+// schemes and prints the cycle × scheme matrix; -scenario-duration caps
+// each cycle's simulated seconds (0 = full published schedule). The
+// cycles are prescribed-speed, so -duration and -seed (which shape the
+// stochastic trace) do not apply to this mode.
 package main
 
 import (
@@ -31,26 +39,38 @@ func main() {
 		seed     = flag.Int64("seed", 42, "drive-trace random seed")
 		tick     = flag.Float64("tick", 0.5, "control period in seconds")
 		horizon  = flag.Int("horizon", 4, "DNOR prediction horizon in ticks")
-		study    = flag.String("study", "table1", "study to run: table1, faults, seeds, margins, bank, horizon or predictors")
+		study    = flag.String("study", "table1", "study to run: table1, faults, seeds, margins, bank, horizon, predictors or scenarios")
 		failures = flag.Int("failures", 15, "module failures for -study faults")
 		seeds    = flag.Int("seeds", 5, "trace count for -study seeds")
 		format   = flag.String("format", "text", "output format: text, csv or json")
 		workers  = flag.Int("workers", 1, "worker pool for independent runs: 1 = serial (runtime-faithful overhead accounting), 0 = all CPUs")
+
+		scenarios   = flag.Bool("scenarios", false, "shorthand for -study scenarios: sweep every standard drive cycle under all four schemes")
+		scenarioCap = flag.Float64("scenario-duration", 0, "cap each scenario cycle at this many seconds (0 = full published schedule)")
 	)
 	flag.Parse()
+	if *scenarios {
+		*study = "scenarios"
+	}
 
 	setup, err := experiments.DefaultSetup()
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := drive.DefaultSynthConfig()
-	cfg.Duration = *duration
-	cfg.Seed = *seed
-	tr, err := drive.Synthesize(cfg)
-	if err != nil {
-		log.Fatal(err)
+	// The scenario sweep builds its own prescribed-speed trace per
+	// cycle, so the stochastic trace (and -duration/-seed, which shape
+	// it) only applies to the other studies; -scenario-duration caps
+	// the cycles instead.
+	if *study != "scenarios" {
+		cfg := drive.DefaultSynthConfig()
+		cfg.Duration = *duration
+		cfg.Seed = *seed
+		tr, err := drive.Synthesize(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		setup.Trace = tr
 	}
-	setup.Trace = tr
 	setup.Sys.Modules = *modules
 	setup.Opts.TickSeconds = *tick
 	setup.Opts.Workers = *workers
@@ -108,6 +128,26 @@ func main() {
 			log.Fatal(err)
 		}
 		tab = report.FromPredictors(pts)
+	case "scenarios":
+		// Measured controller runtime is only faithful when runs don't
+		// compete for cores (PR 1's rationale for -workers 1). A
+		// parallel sweep prices runtime deterministically instead,
+		// which also makes it bit-identical at any worker count;
+		// Render then omits the all-zero runtime matrix.
+		if *workers != 1 {
+			setup.Opts.DeterministicRuntime = true
+		}
+		res, err := experiments.ScenarioSweep(setup, experiments.ScenarioOptions{MaxDuration: *scenarioCap})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *format == "text" {
+			fmt.Printf("Scenario sweep — %d modules, %.1f s control period, %d cycles × %d schemes\n\n",
+				*modules, *tick, len(res.Cells), len(res.Schemes))
+			fmt.Print(res.Render())
+			return
+		}
+		tab = report.FromScenarioSweep(res)
 	default:
 		log.Fatalf("unknown study %q", *study)
 	}

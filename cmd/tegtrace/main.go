@@ -1,11 +1,19 @@
-// Command tegtrace generates or inspects synthetic drive traces (the
-// substitute for the paper's measured Hyundai Porter II log).
+// Command tegtrace generates or inspects drive traces (the substitute
+// for the paper's measured Hyundai Porter II log).
+//
+// The speed source is either the seeded stochastic generator (urban,
+// highway, mixed), an embedded standard drive cycle (nedc, wltc, ftp75,
+// hwfet, us06, delivery — prescribed regulatory speed schedules), or an
+// external CSV speed log ingested with -schedule.
 //
 // Usage:
 //
-//	tegtrace                       # write an 800 s trace as CSV to stdout
-//	tegtrace -duration 120 -seed 7 # shorter trace, different seed
-//	tegtrace -summary              # print channel statistics instead
+//	tegtrace                        # write an 800 s urban trace as CSV to stdout
+//	tegtrace -duration 120 -seed 7  # shorter trace, different seed
+//	tegtrace -cycle wltc            # full 1800 s WLTC Class 3 cycle
+//	tegtrace -cycle nedc -duration 300  # first 300 s of the NEDC
+//	tegtrace -schedule log.csv      # drive from a measured speed log
+//	tegtrace -summary               # print channel statistics instead
 package main
 
 import (
@@ -13,24 +21,44 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"tegrecon/internal/drive"
 	"tegrecon/internal/stats"
+	"tegrecon/internal/trace"
 )
+
+// stochastic maps the seeded-generator profile names.
+var stochastic = map[string]drive.Profile{
+	"urban":   drive.Urban,
+	"highway": drive.Highway,
+	"mixed":   drive.Mixed,
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tegtrace: ")
 	var (
-		duration  = flag.Float64("duration", 800, "trace duration (s)")
+		duration  = flag.Float64("duration", 800, "trace duration (s); for standard cycles, caps the schedule (0 = full cycle)")
 		dt        = flag.Float64("dt", 0.5, "sample period (s)")
-		seed      = flag.Int64("seed", 42, "random seed")
+		seed      = flag.Int64("seed", 42, "random seed (stochastic profiles only)")
 		ambient   = flag.Float64("ambient", 25, "ambient temperature (°C)")
 		coldStart = flag.Bool("cold", false, "start with a cold engine")
 		summary   = flag.Bool("summary", false, "print per-channel statistics instead of CSV")
-		cycle     = flag.String("cycle", "urban", "speed profile: urban, highway or mixed")
+		cycle     = flag.String("cycle", "urban", "speed profile: urban, highway, mixed, or a standard cycle (nedc, wltc, ftp75, hwfet, us06, delivery)")
+		schedule  = flag.String("schedule", "", "CSV speed log to drive from (overrides -cycle)")
+		speedChan = flag.String("speed-channel", "", "channel name of the speed series in -schedule (default "+drive.ChanSpeed+")")
 	)
 	flag.Parse()
+
+	// A plain -cycle wltc should run the cycle's full published length;
+	// only an explicit -duration truncates it.
+	durationSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "duration" {
+			durationSet = true
+		}
+	})
 
 	cfg := drive.DefaultSynthConfig()
 	cfg.Duration = *duration
@@ -38,21 +66,44 @@ func main() {
 	cfg.Seed = *seed
 	cfg.AmbientC = *ambient
 	cfg.WarmStart = !*coldStart
-	switch *cycle {
-	case "urban":
-		cfg.Cycle = drive.Urban
-	case "highway":
-		cfg.Cycle = drive.Highway
-	case "mixed":
-		cfg.Cycle = drive.Mixed
-	default:
-		log.Fatalf("unknown cycle %q", *cycle)
-	}
 
-	tr, err := drive.Synthesize(cfg)
+	var tr *trace.Trace
+	var err error
+	// Standard-cycle lookup is case-insensitive (CycleByName); keep the
+	// stochastic names consistent.
+	profile, isStochastic := stochastic[strings.ToLower(*cycle)]
+	switch {
+	case *schedule != "":
+		f, ferr := os.Open(*schedule)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		sched, serr := drive.ReadSchedule(f, *speedChan)
+		f.Close()
+		if serr != nil {
+			log.Fatal(serr)
+		}
+		if !durationSet {
+			cfg.Duration = 0 // full schedule
+		}
+		tr, err = drive.FromSpeedSchedule(cfg, sched)
+	case isStochastic:
+		cfg.Cycle = profile
+		tr, err = drive.Synthesize(cfg)
+	default:
+		c, cerr := drive.CycleByName(*cycle)
+		if cerr != nil {
+			log.Fatalf("%v; or a stochastic profile: urban, highway, mixed", cerr)
+		}
+		if !durationSet {
+			cfg.Duration = 0 // full published schedule
+		}
+		tr, err = c.Synthesize(cfg)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
+
 	if !*summary {
 		if err := tr.WriteCSV(os.Stdout); err != nil {
 			log.Fatal(err)

@@ -9,12 +9,15 @@ import (
 	"log"
 
 	"tegrecon"
+	"tegrecon/internal/exampleenv"
 )
 
 func main() {
 	log.SetFlags(0)
 
-	tr, err := tegrecon.SynthesizeDrive(tegrecon.DefaultDriveConfig())
+	cfg := tegrecon.DefaultDriveConfig()
+	cfg.Duration = exampleenv.Duration(cfg.Duration)
+	tr, err := tegrecon.SynthesizeDrive(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,57 @@
+// Package examples_test smoke-tests every example program so the
+// examples can't rot: each one must build and run to completion (with
+// the drive shrunk via TEGRECON_EXAMPLE_DURATION) and produce output.
+package examples_test
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes `go run ./examples/<dir>` for every example
+// directory. The sim-driving examples honour TEGRECON_EXAMPLE_DURATION,
+// so even the 800 s ones finish in seconds.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run subprocesses")
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := e.Name()
+		ran++
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", "./examples/"+dir)
+			cmd.Dir = ".." // module root
+			cmd.Env = append(os.Environ(), "TEGRECON_EXAMPLE_DURATION=20")
+			// On timeout the kill hits the `go` tool, not the compiled
+			// example (a grandchild holding the output pipe); WaitDelay
+			// bounds the wait so a hung example fails the subtest
+			// instead of wedging the whole test binary.
+			cmd.WaitDelay = 10 * time.Second
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", dir, err, out)
+			}
+			if len(strings.TrimSpace(string(out))) == 0 {
+				t.Fatalf("example %s produced no output", dir)
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("found no example directories")
+	}
+}

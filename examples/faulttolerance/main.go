@@ -10,6 +10,7 @@ import (
 	"log"
 
 	"tegrecon/internal/drive"
+	"tegrecon/internal/exampleenv"
 	"tegrecon/internal/experiments"
 )
 
@@ -21,7 +22,7 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := drive.DefaultSynthConfig()
-	cfg.Duration = 300
+	cfg.Duration = exampleenv.Duration(300)
 	setup.Trace, err = drive.Synthesize(cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"log"
 
+	"tegrecon/internal/drive"
+	"tegrecon/internal/exampleenv"
 	"tegrecon/internal/experiments"
 	"tegrecon/internal/predict"
 )
@@ -18,6 +20,13 @@ func main() {
 	setup, err := experiments.DefaultSetup()
 	if err != nil {
 		log.Fatal(err)
+	}
+	if d := exampleenv.Duration(800); d != 800 {
+		cfg := drive.DefaultSynthConfig()
+		cfg.Duration = d
+		if setup.Trace, err = drive.Synthesize(cfg); err != nil {
+			log.Fatal(err)
+		}
 	}
 	seq, _, err := setup.TempSequence()
 	if err != nil {

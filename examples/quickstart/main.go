@@ -9,15 +9,17 @@ import (
 	"log"
 
 	"tegrecon"
+	"tegrecon/internal/exampleenv"
 )
 
 func main() {
 	log.SetFlags(0)
 
 	// A 2-minute repeatable urban drive (the paper measures 800 s;
-	// shorten it here so the example finishes instantly).
+	// shorten it here so the example finishes instantly, and let the
+	// smoke tests shrink it further via TEGRECON_EXAMPLE_DURATION).
 	cfg := tegrecon.DefaultDriveConfig()
-	cfg.Duration = 120
+	cfg.Duration = exampleenv.Duration(120)
 	tr, err := tegrecon.SynthesizeDrive(cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,332 @@
+package drive
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestCyclesMatchPublishedSchedules pins every embedded cycle to its
+// published duration, 1 Hz sample count and peak speed.
+func TestCyclesMatchPublishedSchedules(t *testing.T) {
+	published := map[string]struct {
+		duration float64
+		points   int
+		peak     float64
+	}{
+		"nedc":     {1180, 1181, 120},
+		"wltc":     {1800, 1801, 131.3},
+		"ftp75":    {1874, 1875, 91.2},
+		"hwfet":    {765, 766, 96.4},
+		"us06":     {596, 597, 129.2},
+		"delivery": {900, 901, 40},
+	}
+	cycles := Cycles()
+	if len(cycles) != len(published) {
+		t.Fatalf("registry has %d cycles, want %d", len(cycles), len(published))
+	}
+	for _, c := range cycles {
+		want, ok := published[c.Name]
+		if !ok {
+			t.Errorf("unexpected cycle %q", c.Name)
+			continue
+		}
+		if c.DurationS != want.duration || c.SamplePoints != want.points || c.PeakKPH != want.peak {
+			t.Errorf("%s: registry says %.0f s / %d pts / %.1f km/h, want %.0f / %d / %.1f",
+				c.Name, c.DurationS, c.SamplePoints, c.PeakKPH, want.duration, want.points, want.peak)
+		}
+		s := c.Schedule()
+		if len(s.Times) != want.points {
+			t.Errorf("%s: schedule has %d points, want %d", c.Name, len(s.Times), want.points)
+		}
+		if s.Duration() != want.duration {
+			t.Errorf("%s: schedule spans %g s, want %g", c.Name, s.Duration(), want.duration)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: invalid schedule: %v", c.Name, err)
+		}
+		peak := 0.0
+		for _, v := range s.SpeedsKPH {
+			peak = math.Max(peak, v)
+		}
+		if math.Abs(peak-want.peak) > 1e-9 {
+			t.Errorf("%s: peak %g km/h, want %g", c.Name, peak, want.peak)
+		}
+		// Every standard cycle starts and ends at rest.
+		if s.SpeedsKPH[0] != 0 || s.SpeedsKPH[len(s.SpeedsKPH)-1] != 0 {
+			t.Errorf("%s: does not start/end at rest (%g, %g)",
+				c.Name, s.SpeedsKPH[0], s.SpeedsKPH[len(s.SpeedsKPH)-1])
+		}
+	}
+}
+
+func TestCycleByName(t *testing.T) {
+	c, err := CycleByName("WLTC")
+	if err != nil || c.Name != "wltc" {
+		t.Fatalf("CycleByName(WLTC) = %v, %v", c.Name, err)
+	}
+	if _, err := CycleByName("nope"); err == nil || !strings.Contains(err.Error(), "nedc") {
+		t.Fatalf("unknown cycle should list the registry, got %v", err)
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	bad := []Schedule{
+		{Name: "short", Times: []float64{0}, SpeedsKPH: []float64{0}},
+		{Name: "arity", Times: []float64{0, 1}, SpeedsKPH: []float64{0}},
+		{Name: "order", Times: []float64{0, 0}, SpeedsKPH: []float64{0, 0}},
+		{Name: "nan-time", Times: []float64{0, math.NaN()}, SpeedsKPH: []float64{0, 0}},
+		{Name: "neg-speed", Times: []float64{0, 1}, SpeedsKPH: []float64{0, -1}},
+		{Name: "inf-speed", Times: []float64{0, 1}, SpeedsKPH: []float64{0, math.Inf(1)}},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", s.Name)
+		}
+	}
+}
+
+func TestSpeedAtInterpolatesAndClamps(t *testing.T) {
+	s := Schedule{Name: "t", Times: []float64{0, 10, 20}, SpeedsKPH: []float64{0, 50, 30}}
+	if got := s.SpeedAt(5); math.Abs(got-25) > 1e-12 {
+		t.Errorf("SpeedAt(5) = %g", got)
+	}
+	if got := s.SpeedAt(-5); got != 0 {
+		t.Errorf("SpeedAt(-5) = %g", got)
+	}
+	if got := s.SpeedAt(100); got != 30 {
+		t.Errorf("SpeedAt(100) = %g", got)
+	}
+	if got := s.SpeedAt(10); got != 50 {
+		t.Errorf("SpeedAt(10) = %g", got)
+	}
+}
+
+// TestFromSpeedScheduleShape checks channel layout, sampling and the
+// speed channel following the prescribed schedule exactly.
+func TestFromSpeedScheduleShape(t *testing.T) {
+	c, err := CycleByName("hwfet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSynthConfig()
+	cfg.Duration = 0 // full schedule
+	tr, err := FromSpeedSchedule(cfg, c.Schedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSamples := int(math.Round(c.DurationS/cfg.DT)) + 1
+	if tr.Len() != wantSamples {
+		t.Fatalf("trace has %d samples, want %d", tr.Len(), wantSamples)
+	}
+	if len(tr.Channels) != 5 || tr.ChannelIndex(ChanSpeed) < 0 || tr.ChannelIndex(ChanCoolantFlow) < 0 {
+		t.Fatalf("unexpected channels %v", tr.Channels)
+	}
+	sched := c.Schedule()
+	speed, _ := tr.Column(ChanSpeed)
+	for i, tv := range tr.Times {
+		if math.Abs(speed[i]-sched.SpeedAt(tv)) > 1e-9 {
+			t.Fatalf("t=%g: trace speed %g != schedule %g", tv, speed[i], sched.SpeedAt(tv))
+		}
+	}
+}
+
+func TestFromSpeedScheduleTruncates(t *testing.T) {
+	c, err := CycleByName("nedc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSynthConfig()
+	cfg.Duration = 60
+	tr, err := FromSpeedSchedule(cfg, c.Schedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.Duration()-60) > cfg.DT {
+		t.Fatalf("truncated duration %g, want 60", tr.Duration())
+	}
+}
+
+// TestFromSpeedScheduleDeterministic: a prescribed schedule has no
+// stochastic input, so two runs must be bit-identical regardless of the
+// config's seed.
+func TestFromSpeedScheduleDeterministic(t *testing.T) {
+	c, err := CycleByName("us06")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSynthConfig()
+	cfg.Duration = 120
+	a, err := FromSpeedSchedule(cfg, c.Schedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 999
+	b, err := FromSpeedSchedule(cfg, c.Schedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Values {
+		for ch := range a.Values[i] {
+			if a.Values[i][ch] != b.Values[i][ch] {
+				t.Fatalf("sample %d channel %d differs: %g vs %g", i, ch, a.Values[i][ch], b.Values[i][ch])
+			}
+		}
+	}
+}
+
+// TestFromSpeedSchedulePhysical: cycle-driven traces stay in the same
+// physical envelope the stochastic generator guarantees.
+func TestFromSpeedSchedulePhysical(t *testing.T) {
+	for _, c := range Cycles() {
+		cfg := DefaultSynthConfig()
+		cfg.Duration = 200
+		tr, err := FromSpeedSchedule(cfg, c.Schedule())
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		coolant, _ := tr.Column(ChanCoolantInC)
+		flow, _ := tr.Column(ChanCoolantFlow)
+		for i := range coolant {
+			if coolant[i] < cfg.AmbientC || coolant[i] > 115 {
+				t.Fatalf("%s: coolant %g °C out of range at sample %d", c.Name, coolant[i], i)
+			}
+			if flow[i] <= 0 {
+				t.Fatalf("%s: non-positive coolant flow at sample %d", c.Name, i)
+			}
+		}
+	}
+}
+
+// TestFromSpeedScheduleNonzeroOrigin: an excerpt of a measured log
+// starts at some arbitrary absolute time; the generator must shift it to
+// its own t=0 grid, not clamp every sample to the first speed.
+func TestFromSpeedScheduleNonzeroOrigin(t *testing.T) {
+	sched := Schedule{
+		Name:      "excerpt",
+		Times:     []float64{500, 550, 600},
+		SpeedsKPH: []float64{10, 80, 20},
+	}
+	cfg := DefaultSynthConfig()
+	cfg.Duration = 0
+	tr, err := FromSpeedSchedule(cfg, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Times[0] != 0 {
+		t.Fatalf("trace origin %g, want 0", tr.Times[0])
+	}
+	if got := tr.Duration(); math.Abs(got-100) > cfg.DT {
+		t.Fatalf("trace duration %g, want ~100", got)
+	}
+	speed, _ := tr.Column(ChanSpeed)
+	mid, err := tr.At(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mid[tr.ChannelIndex(ChanSpeed)]-80) > 1e-9 {
+		t.Fatalf("speed at shifted midpoint = %g, want 80 (schedule clamped, not shifted?)", mid[tr.ChannelIndex(ChanSpeed)])
+	}
+	last := speed[len(speed)-1]
+	if math.Abs(last-20) > 1e-9 {
+		t.Fatalf("final speed %g, want 20", last)
+	}
+}
+
+// TestCoarseSamplingStaysPhysical: sample periods coarser than the
+// hydraulic/thermostat time constants must saturate the low-pass blends
+// instead of diverging into negative flows.
+func TestCoarseSamplingStaysPhysical(t *testing.T) {
+	sched := Schedule{
+		Name:      "steps",
+		Times:     []float64{0, 50, 100, 150, 200},
+		SpeedsKPH: []float64{0, 80, 10, 90, 0},
+	}
+	for _, dt := range []float64{0.5, 5, 25, 60} {
+		cfg := DefaultSynthConfig()
+		cfg.Duration = 0
+		cfg.DT = dt
+		tr, err := FromSpeedSchedule(cfg, sched)
+		if err != nil {
+			t.Fatalf("dt=%g: %v", dt, err)
+		}
+		flow, _ := tr.Column(ChanCoolantFlow)
+		air, _ := tr.Column(ChanAirFlow)
+		for i := range flow {
+			if flow[i] <= 0 || air[i] <= 0 {
+				t.Fatalf("dt=%g: non-physical flow at sample %d: coolant %g, air %g", dt, i, flow[i], air[i])
+			}
+		}
+	}
+}
+
+func TestScheduleFromTraceAndReadSchedule(t *testing.T) {
+	cfg := DefaultSynthConfig()
+	cfg.Duration = 30
+	tr, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ScheduleFromTrace(tr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Duration() != tr.Duration() || len(s.Times) != tr.Len() {
+		t.Fatalf("schedule %g s / %d pts from trace %g s / %d", s.Duration(), len(s.Times), tr.Duration(), tr.Len())
+	}
+	if _, err := ScheduleFromTrace(tr, "bogus"); err == nil {
+		t.Fatal("unknown channel should error")
+	}
+
+	// CSV round trip: write the trace, read it back as a schedule, and
+	// drive the generator from it.
+	var sb strings.Builder
+	if err := tr.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ReadSchedule(strings.NewReader(sb.String()), ChanSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.Times) != len(s.Times) {
+		t.Fatalf("CSV schedule has %d points, want %d", len(s2.Times), len(s.Times))
+	}
+	tr2, err := FromSpeedSchedule(cfg, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Len() == 0 {
+		t.Fatal("empty trace from ingested schedule")
+	}
+}
+
+func TestReadScheduleRejectsGarbage(t *testing.T) {
+	if _, err := ReadSchedule(strings.NewReader("not,a header\n"), ""); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// The cycle-driven trace must satisfy the simulator's boundary-condition
+// contract (all four radiator channels present, ConditionsAt works).
+func TestCycleTraceFeedsConditions(t *testing.T) {
+	c, err := CycleByName("delivery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSynthConfig()
+	cfg.Duration = 45
+	tr, err := FromSpeedSchedule(cfg, c.Schedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond, err := ConditionsAt(tr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cond.CoolantFlowKgS <= 0 || cond.AirFlowKgS <= 0 {
+		t.Fatalf("non-physical conditions %+v", cond)
+	}
+}

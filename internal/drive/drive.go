@@ -165,6 +165,18 @@ func Synthesize(cfg SynthConfig) (*trace.Trace, error) {
 	}
 	c := cfg.withDefaults()
 	rng := rand.New(rand.NewSource(c.Seed))
+	return generate(c, func(st *driveState, t float64) {
+		stepVehicle(st, &c, rng, c.DT)
+	})
+}
+
+// generate advances the coolant/hydraulic state machine over a speed
+// source and samples the boundary-condition channels every c.DT seconds.
+// advanceSpeed updates st.speedKPH for sample time t — either the
+// stochastic stop-and-go model (Synthesize) or a prescribed regulatory
+// schedule (FromSpeedSchedule); everything downstream of the speed is
+// shared.
+func generate(c SynthConfig, advanceSpeed func(st *driveState, t float64)) (*trace.Trace, error) {
 	tr := trace.New(ChanSpeed, ChanCoolantInC, ChanCoolantFlow, ChanAmbientC, ChanAirFlow)
 
 	st := driveState{
@@ -178,17 +190,21 @@ func Synthesize(cfg SynthConfig) (*trace.Trace, error) {
 	st.flowLP = pathCoolantFlow(&st, &c)
 	st.airLP = pathAirFlow(&st, &c)
 
+	// Pump and duct hydraulics low-pass the flows (~3 s): engine speed
+	// can step during hard braking but the coolant loop and the air
+	// column cannot. For sample periods coarser than the hydraulic time
+	// constant the forward-Euler blend must saturate at 1 or the filter
+	// diverges (and emits negative flows).
+	alpha := lpAlpha(c.DT, 3)
+
 	steps := int(math.Round(c.Duration/c.DT)) + 1
 	for k := 0; k < steps; k++ {
 		t := float64(k) * c.DT
-		stepVehicle(&st, &c, rng, c.DT)
+		advanceSpeed(&st, t)
 		stepThermal(&st, &c, c.DT)
 
-		// Pump and duct hydraulics low-pass the flows (~3 s): engine
-		// speed can step during hard braking but the coolant loop and
-		// the air column cannot.
-		st.flowLP += (pathCoolantFlow(&st, &c) - st.flowLP) * c.DT / 3
-		st.airLP += (pathAirFlow(&st, &c) - st.airLP) * c.DT / 3
+		st.flowLP += (pathCoolantFlow(&st, &c) - st.flowLP) * alpha
+		st.airLP += (pathAirFlow(&st, &c) - st.airLP) * alpha
 		if err := tr.Append(t, st.speedKPH, st.coolantC, st.flowLP, c.AmbientC, st.airLP); err != nil {
 			return nil, err
 		}
@@ -301,7 +317,7 @@ func stepThermal(st *driveState, c *SynthConfig, dt float64) {
 	if st.thermoOn {
 		target = 1.0
 	}
-	st.thermoFrac += (target - st.thermoFrac) * dt / 12 // ~12 s lag
+	st.thermoFrac += (target - st.thermoFrac) * lpAlpha(dt, 12) // ~12 s lag
 
 	// Radiator rejection: proportional to opening, flow and ΔT to
 	// ambient. The coefficient approximates the full radiator bank.
@@ -317,6 +333,17 @@ func stepThermal(st *driveState, c *SynthConfig, dt float64) {
 	if st.coolantC > 115 {
 		st.coolantC = 115
 	}
+}
+
+// lpAlpha is the forward-Euler blend factor of a first-order low-pass
+// with time constant tau, saturated at 1 so coarse sample periods track
+// the input instead of diverging.
+func lpAlpha(dt, tau float64) float64 {
+	a := dt / tau
+	if a > 1 {
+		return 1
+	}
+	return a
 }
 
 // airSpeedFactor folds ram air into the rejection capacity.

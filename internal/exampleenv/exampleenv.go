@@ -1,0 +1,28 @@
+// Package exampleenv holds the one environment contract shared by the
+// runnable examples: TEGRECON_EXAMPLE_DURATION shrinks each example's
+// drive so the repo's smoke tests (examples/examples_test.go) can run
+// them in seconds without touching their defaults.
+package exampleenv
+
+import (
+	"math"
+	"os"
+	"strconv"
+)
+
+// Duration returns the example's drive span in seconds: the
+// TEGRECON_EXAMPLE_DURATION override when it parses as a strictly
+// positive finite number, def otherwise. (Zero is not passed through:
+// the stochastic generator rejects non-positive durations, so a zero
+// override would crash most examples instead of shrinking them.)
+func Duration(def float64) float64 {
+	s := os.Getenv("TEGRECON_EXAMPLE_DURATION")
+	if s == "" {
+		return def
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+		return def
+	}
+	return v
+}

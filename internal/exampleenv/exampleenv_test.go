@@ -1,0 +1,25 @@
+package exampleenv
+
+import "testing"
+
+func TestDuration(t *testing.T) {
+	cases := []struct {
+		env  string
+		def  float64
+		want float64
+	}{
+		{"", 120, 120},
+		{"20", 120, 20},
+		{"0", 120, 120},
+		{"2.5", 800, 2.5},
+		{"-1", 120, 120},
+		{"bogus", 120, 120},
+		{"NaN", 120, 120},
+	}
+	for _, c := range cases {
+		t.Setenv("TEGRECON_EXAMPLE_DURATION", c.env)
+		if got := Duration(c.def); got != c.want {
+			t.Errorf("Duration(%g) with env %q = %g, want %g", c.def, c.env, got, c.want)
+		}
+	}
+}

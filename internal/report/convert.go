@@ -147,6 +147,28 @@ func FromMargins(pts []experiments.MarginPoint) *Table {
 	return t
 }
 
+// FromScenarioSweep converts the cycle × scheme scenario matrix to long
+// format, one row per (cycle, scheme).
+func FromScenarioSweep(r *experiments.ScenarioSweepResult) *Table {
+	t := &Table{
+		Title:  "Scenario sweep — standard drive cycles × reconfiguration schemes",
+		Header: []string{"cycle", "scheme", "duration_s", "energy_j", "overhead_j", "switch_events", "avg_runtime_ms", "capture_of_ideal"},
+	}
+	for _, row := range r.Cells {
+		for _, c := range row {
+			capture := "/"
+			if c.IdealEnergyJ > 0 {
+				capture = pct(c.EnergyOutJ / c.IdealEnergyJ)
+			}
+			t.Rows = append(t.Rows, []string{
+				c.Cycle, c.Scheme, f1(c.DurationS), f1(c.EnergyOutJ), f2(c.OverheadJ),
+				strconv.Itoa(c.SwitchEvents), f4(float64(c.AvgRuntime) / 1e6), capture,
+			})
+		}
+	}
+	return t
+}
+
 // FromFig5 converts the Fig. 5 prediction comparison summary.
 func FromFig5(r *experiments.Fig5Result) *Table {
 	t := &Table{

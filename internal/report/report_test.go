@@ -163,6 +163,31 @@ func TestFromFaultStudyAndSeedSweep(t *testing.T) {
 	}
 }
 
+func TestFromScenarioSweep(t *testing.T) {
+	r := &experiments.ScenarioSweepResult{
+		Schemes: []string{"Baseline", "DNOR"},
+		Cells: [][]experiments.ScenarioCell{{
+			{Cycle: "nedc", Scheme: "Baseline", DurationS: 1180, EnergyOutJ: 100, IdealEnergyJ: 200},
+			{Cycle: "nedc", Scheme: "DNOR", DurationS: 1180, EnergyOutJ: 150, OverheadJ: 2.5,
+				SwitchEvents: 7, AvgRuntime: 3 * time.Millisecond, IdealEnergyJ: 200},
+		}},
+	}
+	tab := FromScenarioSweep(r)
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	dnor := tab.Rows[1]
+	if dnor[0] != "nedc" || dnor[1] != "DNOR" || dnor[3] != "150.0" || dnor[5] != "7" {
+		t.Errorf("DNOR row = %v", dnor)
+	}
+	if dnor[6] != "3.0000" || dnor[7] != "75.0%" {
+		t.Errorf("runtime/capture cells = %v", dnor)
+	}
+}
+
 func TestRemainingConverters(t *testing.T) {
 	if err := FromHorizon([]experiments.HorizonPoint{{HorizonTicks: 2, EnergyOutJ: 5}}).Validate(); err != nil {
 		t.Error(err)

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzReadCSV throws arbitrary bytes at the trace parser. ReadCSV must
+// never panic or hang: it either returns an error or a structurally
+// sound trace — strictly increasing finite times, every row matching
+// the channel count, every cell finite.
+func FuzzReadCSV(f *testing.F) {
+	seeds := []string{
+		"",
+		"time_s,a\n0,1\n1,2\n",
+		"time_s,speed_kph,coolant_in_c\n0,12.5,88\n0.5,13,88.2\n",
+		"bogus,a\n0,1\n",
+		"time_s\n0\n",
+		"time_s,a\nxx,1\n",
+		"time_s,a\n0,zz\n",
+		"time_s,a\n1,1\n0,2\n",
+		"time_s,a\n0,1\n0,2\n",
+		"time_s,a\nNaN,1\n",
+		"time_s,a\n0,NaN\n",
+		"time_s,a\nInf,1\n1,-Inf\n",
+		"time_s,a\n0,1\n1\n",
+		"time_s,a\n\"0\",\"1\"\n",
+		"time_s,a\r\n0,1\r\n",
+		"time_s,a,a\n0,1,2\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if tr == nil {
+			t.Fatal("nil trace with nil error")
+		}
+		if len(tr.Channels) < 1 {
+			t.Fatalf("accepted header with %d channels", len(tr.Channels))
+		}
+		if len(tr.Values) != len(tr.Times) {
+			t.Fatalf("%d rows for %d times", len(tr.Values), len(tr.Times))
+		}
+		for i, tv := range tr.Times {
+			if math.IsNaN(tv) || math.IsInf(tv, 0) {
+				t.Fatalf("non-finite time %g at row %d", tv, i)
+			}
+			if i > 0 && tv <= tr.Times[i-1] {
+				t.Fatalf("times not strictly increasing at row %d: %g after %g", i, tv, tr.Times[i-1])
+			}
+			if len(tr.Values[i]) != len(tr.Channels) {
+				t.Fatalf("row %d has %d values for %d channels", i, len(tr.Values[i]), len(tr.Channels))
+			}
+			for c, v := range tr.Values[i] {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("non-finite value %g at row %d col %d", v, i, c)
+				}
+			}
+		}
+	})
+}

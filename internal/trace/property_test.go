@@ -1,0 +1,224 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomTrace builds a trace with 2–60 samples over 1–4 channels,
+// non-uniform strictly-increasing times and bounded values — the shapes
+// the rest of the codebase feeds these utilities.
+func randomTrace(rng *rand.Rand) *Trace {
+	nCh := 1 + rng.Intn(4)
+	chans := make([]string, nCh)
+	for i := range chans {
+		chans[i] = string(rune('a' + i))
+	}
+	tr := New(chans...)
+	n := 2 + rng.Intn(59)
+	t := rng.Float64() * 10
+	for i := 0; i < n; i++ {
+		t += 0.05 + rng.Float64()*2 // non-uniform spacing
+		vals := make([]float64, nCh)
+		for c := range vals {
+			vals[c] = (rng.Float64() - 0.5) * 2e3
+		}
+		if err := tr.Append(t, vals...); err != nil {
+			panic(err)
+		}
+	}
+	return tr
+}
+
+// assertWellFormed checks the structural invariants every trace
+// operation must preserve: strictly increasing finite times and
+// channel-count row arity.
+func assertWellFormed(t *testing.T, tr *Trace, label string) {
+	t.Helper()
+	for i, tv := range tr.Times {
+		if math.IsNaN(tv) || math.IsInf(tv, 0) {
+			t.Fatalf("%s: non-finite time at %d", label, i)
+		}
+		if i > 0 && tv <= tr.Times[i-1] {
+			t.Fatalf("%s: times not strictly increasing at %d (%g after %g)", label, i, tv, tr.Times[i-1])
+		}
+	}
+	if len(tr.Values) != len(tr.Times) {
+		t.Fatalf("%s: %d rows for %d times", label, len(tr.Values), len(tr.Times))
+	}
+	for i, row := range tr.Values {
+		if len(row) != len(tr.Channels) {
+			t.Fatalf("%s: row %d arity %d for %d channels", label, i, len(row), len(tr.Channels))
+		}
+	}
+}
+
+func TestResampleProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 200; iter++ {
+		tr := randomTrace(rng)
+		dt := 0.05 + rng.Float64()*3
+		rs, err := tr.Resample(dt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertWellFormed(t, rs, "resampled")
+		if len(rs.Channels) != len(tr.Channels) {
+			t.Fatalf("channel count changed: %d → %d", len(tr.Channels), len(rs.Channels))
+		}
+		if rs.Len() == 0 {
+			t.Fatal("resample dropped every sample")
+		}
+		// The grid starts at the original origin and never runs past the
+		// original end, so the duration is bounded by the original's.
+		if rs.Times[0] != tr.Times[0] {
+			t.Fatalf("resample moved the origin: %g → %g", tr.Times[0], rs.Times[0])
+		}
+		if rs.Times[rs.Len()-1] > tr.Times[tr.Len()-1]+1e-9 {
+			t.Fatalf("resample ran past the end: %g > %g", rs.Times[rs.Len()-1], tr.Times[tr.Len()-1])
+		}
+		if rs.Duration() > tr.Duration()+1e-9 {
+			t.Fatalf("resample grew the duration: %g > %g", rs.Duration(), tr.Duration())
+		}
+		// Grid spacing is exactly dt (up to float accumulation).
+		for i := 1; i < rs.Len(); i++ {
+			if math.Abs(rs.Times[i]-rs.Times[i-1]-dt) > 1e-9 {
+				t.Fatalf("grid step %g != dt %g at %d", rs.Times[i]-rs.Times[i-1], dt, i)
+			}
+		}
+		// Interpolated values stay inside the original channel envelope
+		// (linear interpolation cannot overshoot).
+		for c, name := range tr.Channels {
+			col, _ := tr.Column(name)
+			lo, hi := col[0], col[0]
+			for _, v := range col {
+				lo, hi = math.Min(lo, v), math.Max(hi, v)
+			}
+			for i := range rs.Values {
+				if v := rs.Values[i][c]; v < lo-1e-9 || v > hi+1e-9 {
+					t.Fatalf("channel %s overshoots envelope [%g, %g]: %g", name, lo, hi, v)
+				}
+			}
+		}
+	}
+}
+
+// TestResampleIdempotent: resampling an already-dt-gridded trace at the
+// same dt reproduces it (the grid and the values).
+func TestResampleIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 100; iter++ {
+		tr := randomTrace(rng)
+		dt := 0.1 + rng.Float64()*2
+		once, err := tr.Resample(dt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		twice, err := once.Resample(dt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if twice.Len() != once.Len() {
+			t.Fatalf("second resample changed length: %d → %d", once.Len(), twice.Len())
+		}
+		for i := range once.Times {
+			if twice.Times[i] != once.Times[i] {
+				t.Fatalf("second resample moved time %d: %g → %g", i, once.Times[i], twice.Times[i])
+			}
+			for c := range once.Values[i] {
+				a, b := once.Values[i][c], twice.Values[i][c]
+				if diff := math.Abs(a - b); diff > 1e-9*math.Max(1, math.Abs(a)) {
+					t.Fatalf("second resample changed value [%d][%d]: %g → %g", i, c, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestSliceProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 200; iter++ {
+		tr := randomTrace(rng)
+		span := tr.Times[tr.Len()-1] - tr.Times[0]
+		t0 := tr.Times[0] + rng.Float64()*span
+		t1 := t0 + rng.Float64()*span
+		s := tr.Slice(t0, t1)
+		assertWellFormed(t, s, "slice")
+		if len(s.Channels) != len(tr.Channels) {
+			t.Fatalf("slice changed channel count")
+		}
+		// Every kept sample is inside [t0, t1) and appears verbatim in
+		// the original.
+		j := 0
+		for i, tv := range s.Times {
+			if tv < t0 || tv >= t1 {
+				t.Fatalf("slice kept out-of-window time %g for [%g, %g)", tv, t0, t1)
+			}
+			for j < tr.Len() && tr.Times[j] != tv {
+				j++
+			}
+			if j == tr.Len() {
+				t.Fatalf("slice invented time %g", tv)
+			}
+			for c := range s.Values[i] {
+				if s.Values[i][c] != tr.Values[j][c] {
+					t.Fatalf("slice altered values at t=%g", tv)
+				}
+			}
+		}
+		// No in-window sample was dropped.
+		kept := 0
+		for _, tv := range tr.Times {
+			if tv >= t0 && tv < t1 {
+				kept++
+			}
+		}
+		if kept != s.Len() {
+			t.Fatalf("slice kept %d of %d in-window samples", s.Len(), kept)
+		}
+		if s.Duration() > t1-t0 {
+			t.Fatalf("slice duration %g exceeds window %g", s.Duration(), t1-t0)
+		}
+	}
+}
+
+func TestScaleChannelProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 200; iter++ {
+		tr := randomTrace(rng)
+		idx := rng.Intn(len(tr.Channels))
+		name := tr.Channels[idx]
+		factor := (rng.Float64() - 0.5) * 4
+		orig := make([][]float64, len(tr.Values))
+		for i, row := range tr.Values {
+			orig[i] = append([]float64(nil), row...)
+		}
+		scaled, err := tr.ScaleChannel(name, factor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertWellFormed(t, scaled, "scaled")
+		if len(scaled.Channels) != len(tr.Channels) || scaled.Len() != tr.Len() {
+			t.Fatalf("scale changed shape")
+		}
+		for i := range tr.Values {
+			if scaled.Times[i] != tr.Times[i] {
+				t.Fatalf("scale moved time %d", i)
+			}
+			for c := range tr.Values[i] {
+				want := orig[i][c]
+				if c == idx {
+					want *= factor
+				}
+				if scaled.Values[i][c] != want {
+					t.Fatalf("scale wrong at [%d][%d]: %g want %g", i, c, scaled.Values[i][c], want)
+				}
+				// The receiver must be untouched.
+				if tr.Values[i][c] != orig[i][c] {
+					t.Fatalf("scale mutated the original at [%d][%d]", i, c)
+				}
+			}
+		}
+	}
+}

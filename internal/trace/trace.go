@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 )
@@ -52,11 +53,24 @@ func (t *Trace) ChannelIndex(name string) int {
 	return -1
 }
 
-// Append adds a sample. It returns an error if the timestamp does not
-// advance or the value count mismatches the channel count.
+// Append adds a sample. It returns an error if any entry is not finite,
+// the timestamp does not advance, or the value count mismatches the
+// channel count. (A NaN timestamp would silently break the
+// strictly-increasing invariant — NaN compares false against everything
+// — and a trace must carry finite physics throughout, or WriteCSV would
+// emit files ReadCSV refuses; both are rejected at this single entry
+// point.)
 func (t *Trace) Append(time float64, values ...float64) error {
 	if len(values) != len(t.Channels) {
 		return fmt.Errorf("trace: %d values for %d channels", len(values), len(t.Channels))
+	}
+	if math.IsNaN(time) || math.IsInf(time, 0) {
+		return fmt.Errorf("trace: non-finite time %g", time)
+	}
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("trace: non-finite value %g for channel %q", v, t.Channels[i])
+		}
 	}
 	if n := t.Len(); n > 0 && time <= t.Times[n-1] {
 		return fmt.Errorf("trace: non-increasing time %g after %g", time, t.Times[n-1])
@@ -207,11 +221,19 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: line %d time: %w", line, err)
 		}
+		if math.IsNaN(time) || math.IsInf(time, 0) {
+			return nil, fmt.Errorf("trace: line %d time %q is not finite", line, rec[0])
+		}
 		vals := make([]float64, len(rec)-1)
 		for i, s := range rec[1:] {
 			vals[i], err = strconv.ParseFloat(s, 64)
 			if err != nil {
 				return nil, fmt.Errorf("trace: line %d col %d: %w", line, i+1, err)
+			}
+			// ParseFloat happily yields NaN/±Inf for "NaN"/"Inf" cells;
+			// a trace must carry finite physics.
+			if math.IsNaN(vals[i]) || math.IsInf(vals[i], 0) {
+				return nil, fmt.Errorf("trace: line %d col %d value %q is not finite", line, i+1, s)
 			}
 		}
 		if err := t.Append(time, vals...); err != nil {

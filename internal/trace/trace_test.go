@@ -50,6 +50,25 @@ func TestAppendRejectsNonIncreasingTime(t *testing.T) {
 	}
 }
 
+func TestAppendRejectsNonFinite(t *testing.T) {
+	tr := New("a")
+	if err := tr.Append(math.NaN(), 1); err == nil {
+		t.Error("NaN time accepted")
+	}
+	if err := tr.Append(math.Inf(1), 1); err == nil {
+		t.Error("+Inf time accepted")
+	}
+	if err := tr.Append(0, math.NaN()); err == nil {
+		t.Error("NaN value accepted")
+	}
+	if err := tr.Append(0, math.Inf(-1)); err == nil {
+		t.Error("-Inf value accepted")
+	}
+	if err := tr.Append(0, 1); err != nil {
+		t.Errorf("finite sample rejected: %v", err)
+	}
+}
+
 func TestChannelIndexAndColumn(t *testing.T) {
 	tr := buildTestTrace(t)
 	if tr.ChannelIndex("b") != 1 {

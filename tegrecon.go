@@ -62,6 +62,10 @@ type (
 	Trace = trace.Trace
 	// DriveConfig parameterises the synthetic drive-cycle generator.
 	DriveConfig = drive.SynthConfig
+	// DriveCycle is an embedded standard drive cycle (NEDC, WLTC, ...).
+	DriveCycle = drive.Cycle
+	// DriveSchedule is a prescribed speed-vs-time series.
+	DriveSchedule = drive.Schedule
 	// Predictor forecasts temperature distributions.
 	Predictor = predict.Predictor
 	// ExperimentSetup bundles a full Section VI experiment.
@@ -88,6 +92,20 @@ func DefaultDriveConfig() DriveConfig { return drive.DefaultSynthConfig() }
 
 // SynthesizeDrive generates a repeatable synthetic drive trace.
 func SynthesizeDrive(cfg DriveConfig) (*Trace, error) { return drive.Synthesize(cfg) }
+
+// StandardCycles returns the embedded regulatory drive cycles (NEDC,
+// WLTC, FTP-75, HWFET, US06) plus the project delivery cycle.
+func StandardCycles() []DriveCycle { return drive.Cycles() }
+
+// CycleByName looks a standard cycle up case-insensitively.
+func CycleByName(name string) (DriveCycle, error) { return drive.CycleByName(name) }
+
+// SynthesizeFromSchedule drives the thermal state machine from a
+// prescribed speed schedule (a standard cycle's, or one ingested from a
+// measured log) instead of the stochastic profile.
+func SynthesizeFromSchedule(cfg DriveConfig, s DriveSchedule) (*Trace, error) {
+	return drive.FromSpeedSchedule(cfg, s)
+}
 
 // Simulate runs one controller over a drive trace on the given system.
 func Simulate(sys *System, tr *Trace, ctrl Controller, opts SimOptions) (*SimResult, error) {
