@@ -16,6 +16,7 @@ import (
 	"tegrecon/internal/predict"
 	"tegrecon/internal/sim"
 	"tegrecon/internal/teg"
+	"tegrecon/internal/thermal"
 )
 
 // benchSetup builds a Section VI setup over a shortened trace so each
@@ -258,6 +259,93 @@ func BenchmarkEvaluatorBest(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchConditions interpolates every control period's radiator boundary
+// conditions from a trace up front, so a Step benchmark measures only
+// the engine's own loop body.
+func benchConditions(b *testing.B, s *experiments.Setup) []thermal.Conditions {
+	b.Helper()
+	ticks := int(s.Trace.Duration()/s.Opts.TickSeconds) + 1
+	conds := make([]thermal.Conditions, ticks)
+	for k := range conds {
+		cond, err := drive.ConditionsAt(s.Trace, s.Trace.Times[0]+float64(k)*s.Opts.TickSeconds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		conds[k] = cond
+	}
+	return conds
+}
+
+// BenchmarkSessionStep measures one steady-state control period of the
+// incremental engine in streaming mode (KeepTicks off). The allocation
+// count is the acceptance gate: Step must add no per-tick allocations
+// beyond what Run's loop body already paid.
+func BenchmarkSessionStep(b *testing.B) {
+	s := benchSetup(b, 60)
+	conds := benchConditions(b, s)
+	ctrl, err := s.NewINOR()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := s.Opts
+	opts.DeterministicRuntime = true
+	opts.KeepTicks = false
+	sess, err := sim.NewSession(s.Sys, ctrl, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Step(conds[i%len(conds)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunVsSession compares the batch trace-replay wrapper against
+// a hand-stepped session over the same 60 s drive — the overhead of the
+// incremental API relative to the monolithic loop it replaced.
+func BenchmarkRunVsSession(b *testing.B) {
+	s := benchSetup(b, 60)
+	conds := benchConditions(b, s)
+	opts := s.Opts
+	opts.DeterministicRuntime = true
+	b.Run("Run", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctrl, err := s.NewINOR()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sim.Run(s.Sys, s.Trace, ctrl, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Session", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctrl, err := s.NewINOR()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sess, err := sim.NewSession(s.Sys, ctrl, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, cond := range conds {
+				if _, err := sess.Step(cond); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if res := sess.Result(); res.EnergyOutJ <= 0 {
+				b.Fatal("no energy harvested")
+			}
+		}
+	})
 }
 
 // BenchmarkFaultStudy runs the Ext-E fault-tolerance study over a short

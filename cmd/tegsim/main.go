@@ -20,15 +20,44 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 
 	"tegrecon/internal/drive"
 	"tegrecon/internal/experiments"
 	"tegrecon/internal/report"
+	"tegrecon/internal/sim"
+	"tegrecon/internal/termline"
 )
+
+// progressMeter streams a live tick counter to stderr. It is installed
+// as Options.OnTick, so it fires from every batch worker at once — the
+// counter is atomic and termline's redraw claim keeps the printing safe
+// and cheap on the hot path.
+type progressMeter struct {
+	ticks atomic.Int64
+	line  *termline.Printer
+}
+
+func newProgressMeter() *progressMeter {
+	return &progressMeter{line: termline.New()}
+}
+
+func (p *progressMeter) observe(sim.Tick) {
+	p.line.Printf("simulated %d control periods...", p.ticks.Add(1))
+}
+
+// done clears the progress line so results start on a clean row.
+func (p *progressMeter) done() {
+	p.line.Clear()
+}
 
 func main() {
 	log.SetFlags(0)
@@ -53,8 +82,25 @@ func main() {
 		*study = "scenarios"
 	}
 
+	// SIGINT/SIGTERM cancel the context; every study threads it down to
+	// the per-tick check of each simulation run, so one Ctrl-C stops the
+	// whole worker pool within a control period instead of killing the
+	// process mid-write. A second signal falls through to the default
+	// handler and kills immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	setup, err := experiments.DefaultSetup()
 	if err != nil {
+		log.Fatal(err)
+	}
+	meter := newProgressMeter()
+	setup.Opts.OnTick = meter.observe
+	fail := func(err error) {
+		meter.done()
+		if errors.Is(err, context.Canceled) {
+			log.Fatalf("interrupted after %d simulated control periods: %v", meter.ticks.Load(), err)
+		}
 		log.Fatal(err)
 	}
 	// The scenario sweep builds its own prescribed-speed trace per
@@ -80,10 +126,11 @@ func main() {
 	var trailer string
 	switch *study {
 	case "table1":
-		res, err := experiments.TableI(setup)
+		res, err := experiments.TableIContext(ctx, setup)
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
+		meter.done()
 		if *format == "text" {
 			fmt.Printf("TEG reconfiguration comparison — %d modules, %.0f s drive, %.1f s control period\n\n",
 				*modules, *duration, *tick)
@@ -92,40 +139,40 @@ func main() {
 		}
 		tab = report.FromTableI(res)
 	case "faults":
-		pts, err := experiments.FaultStudy(setup, *failures, *seed)
+		pts, err := experiments.FaultStudyContext(ctx, setup, *failures, *seed)
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		tab = report.FromFaultStudy(pts)
 	case "seeds":
-		res, err := experiments.SeedSweep(setup, *seeds, *duration)
+		res, err := experiments.SeedSweepContext(ctx, setup, *seeds, *duration)
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		tab = report.FromSeedSweep(res)
 	case "margins":
-		pts, err := experiments.MarginAblation(setup, []float64{0, 0.25, 0.5, 1, 2})
+		pts, err := experiments.MarginAblationContext(ctx, setup, []float64{0, 0.25, 0.5, 1, 2})
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		tab = report.FromMargins(pts)
 		trailer = "margin 0 is the paper's Algorithm 2 rule"
 	case "bank":
-		pts, err := experiments.BankStudy(setup, 5, []float64{0, 0.2, 0.4, 0.6})
+		pts, err := experiments.BankStudyContext(ctx, setup, 5, []float64{0, 0.2, 0.4, 0.6})
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		tab = report.FromBank(pts)
 	case "horizon":
-		pts, err := experiments.HorizonAblation(setup, []int{1, 2, 4, 6, 8})
+		pts, err := experiments.HorizonAblationContext(ctx, setup, []int{1, 2, 4, 6, 8})
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		tab = report.FromHorizon(pts)
 	case "predictors":
-		pts, err := experiments.PredictorAblation(setup)
+		pts, err := experiments.PredictorAblationContext(ctx, setup)
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		tab = report.FromPredictors(pts)
 	case "scenarios":
@@ -137,10 +184,11 @@ func main() {
 		if *workers != 1 {
 			setup.Opts.DeterministicRuntime = true
 		}
-		res, err := experiments.ScenarioSweep(setup, experiments.ScenarioOptions{MaxDuration: *scenarioCap})
+		res, err := experiments.ScenarioSweepContext(ctx, setup, experiments.ScenarioOptions{MaxDuration: *scenarioCap})
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
+		meter.done()
 		if *format == "text" {
 			fmt.Printf("Scenario sweep — %d modules, %.1f s control period, %d cycles × %d schemes\n\n",
 				*modules, *tick, len(res.Cells), len(res.Schemes))
@@ -151,6 +199,7 @@ func main() {
 	default:
 		log.Fatalf("unknown study %q", *study)
 	}
+	meter.done()
 	if err := tab.Write(os.Stdout, report.Format(*format)); err != nil {
 		log.Fatal(err)
 	}

@@ -17,14 +17,20 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"tegrecon/internal/drive"
 	"tegrecon/internal/stats"
+	"tegrecon/internal/termline"
 	"tegrecon/internal/trace"
 )
 
@@ -35,9 +41,47 @@ var stochastic = map[string]drive.Profile{
 	"mixed":   drive.Mixed,
 }
 
+// progressWriter forwards CSV bytes while honouring cancellation and
+// streaming a live row counter to stderr: every Write checks the
+// context (so Ctrl-C aborts a long dump mid-stream with a clean error
+// instead of a half-flushed exit) and counts newlines as written
+// samples.
+type progressWriter struct {
+	ctx  context.Context
+	w    io.Writer
+	rows int
+	line *termline.Printer
+}
+
+func (p *progressWriter) Write(b []byte) (int, error) {
+	if err := p.ctx.Err(); err != nil {
+		return 0, err
+	}
+	n, err := p.w.Write(b)
+	for _, c := range b[:n] {
+		if c == '\n' {
+			p.rows++
+		}
+	}
+	p.line.Printf("wrote %d samples...", p.samples())
+	return n, err
+}
+
+// samples discounts the CSV header row from the newline count.
+func (p *progressWriter) samples() int {
+	if p.rows > 0 {
+		return p.rows - 1
+	}
+	return 0
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tegtrace: ")
+	// The -cycle usage text advertises exactly the registered standard
+	// cycles, so a new registry entry shows up here without a CLI edit.
+	cycleUsage := "speed profile: urban, highway, mixed, or a standard cycle (" +
+		strings.Join(drive.CycleNames(), ", ") + ")"
 	var (
 		duration  = flag.Float64("duration", 800, "trace duration (s); for standard cycles, caps the schedule (0 = full cycle)")
 		dt        = flag.Float64("dt", 0.5, "sample period (s)")
@@ -45,11 +89,16 @@ func main() {
 		ambient   = flag.Float64("ambient", 25, "ambient temperature (°C)")
 		coldStart = flag.Bool("cold", false, "start with a cold engine")
 		summary   = flag.Bool("summary", false, "print per-channel statistics instead of CSV")
-		cycle     = flag.String("cycle", "urban", "speed profile: urban, highway, mixed, or a standard cycle (nedc, wltc, ftp75, hwfet, us06, delivery)")
+		cycle     = flag.String("cycle", "urban", cycleUsage)
 		schedule  = flag.String("schedule", "", "CSV speed log to drive from (overrides -cycle)")
 		speedChan = flag.String("speed-channel", "", "channel name of the speed series in -schedule (default "+drive.ChanSpeed+")")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the context; the CSV writer checks it every
+	// write, so a long dump stops promptly with a clean message.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	// A plain -cycle wltc should run the cycle's full published length;
 	// only an explicit -duration truncates it.
@@ -105,7 +154,13 @@ func main() {
 	}
 
 	if !*summary {
-		if err := tr.WriteCSV(os.Stdout); err != nil {
+		pw := &progressWriter{ctx: ctx, w: os.Stdout, line: termline.New()}
+		err := tr.WriteCSV(pw)
+		pw.line.Clear()
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				log.Fatalf("interrupted after writing %d samples: %v", pw.samples(), err)
+			}
 			log.Fatal(err)
 		}
 		return

@@ -200,18 +200,26 @@ func Cycles() []Cycle {
 	return append([]Cycle(nil), standardCycles...)
 }
 
-// CycleByName looks a cycle up case-insensitively.
+// CycleNames returns the registered standard cycle names in registry
+// order — the one list behind CycleByName's unknown-cycle error and the
+// CLI usage text, so neither can drift from the registry.
+func CycleNames() []string {
+	names := make([]string, len(standardCycles))
+	for i, c := range standardCycles {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// CycleByName looks a cycle up case-insensitively. An unknown name's
+// error lists every valid cycle name.
 func CycleByName(name string) (Cycle, error) {
 	for _, c := range standardCycles {
 		if strings.EqualFold(c.Name, name) {
 			return c, nil
 		}
 	}
-	names := make([]string, len(standardCycles))
-	for i, c := range standardCycles {
-		names[i] = c.Name
-	}
-	return Cycle{}, fmt.Errorf("drive: unknown cycle %q (have %s)", name, strings.Join(names, ", "))
+	return Cycle{}, fmt.Errorf("drive: unknown cycle %q (valid cycles: %s)", name, strings.Join(CycleNames(), ", "))
 }
 
 // appendSeg appends a breakpoint segment shifted by offset, dropping a

@@ -70,6 +70,27 @@ func TestCycleByName(t *testing.T) {
 	}
 }
 
+func TestCycleNamesMatchRegistry(t *testing.T) {
+	names := CycleNames()
+	cycles := Cycles()
+	if len(names) != len(cycles) || len(names) == 0 {
+		t.Fatalf("CycleNames() has %d entries for %d cycles", len(names), len(cycles))
+	}
+	_, err := CycleByName("definitely-not-a-cycle")
+	if err == nil {
+		t.Fatal("unknown cycle should error")
+	}
+	for i, c := range cycles {
+		if names[i] != c.Name {
+			t.Errorf("CycleNames()[%d] = %q, registry has %q", i, names[i], c.Name)
+		}
+		// The unknown-name error must advertise every valid cycle.
+		if !strings.Contains(err.Error(), c.Name) {
+			t.Errorf("CycleByName error %q does not list %q", err, c.Name)
+		}
+	}
+}
+
 func TestScheduleValidate(t *testing.T) {
 	bad := []Schedule{
 		{Name: "short", Times: []float64{0}, SpeedsKPH: []float64{0}},

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -86,6 +87,12 @@ type HorizonPoint struct {
 // trace. Horizon 1 is the shortest durable window; larger horizons
 // amortise switches further but lean harder on forecast quality.
 func HorizonAblation(s *Setup, horizons []int) ([]HorizonPoint, error) {
+	return HorizonAblationContext(context.Background(), s, horizons)
+}
+
+// HorizonAblationContext is HorizonAblation with cancellation threaded
+// into every run's per-tick check.
+func HorizonAblationContext(ctx context.Context, s *Setup, horizons []int) ([]HorizonPoint, error) {
 	jobs := make([]sim.Job, 0, len(horizons))
 	for _, h := range horizons {
 		setup := *s
@@ -94,9 +101,9 @@ func HorizonAblation(s *Setup, horizons []int) ([]HorizonPoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		jobs = append(jobs, sim.Job{Sys: s.Sys, Trace: s.Trace, Ctrl: dnor, Opts: s.Opts})
+		jobs = append(jobs, sim.Job{Sys: s.Sys, Trace: s.Trace, Ctrl: dnor, Opts: s.summaryOpts()})
 	}
-	results, err := sim.Batch{Workers: s.Opts.Workers}.Run(jobs)
+	results, err := sim.Batch{Workers: s.Opts.Workers}.RunContext(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -124,6 +131,12 @@ type PredictorPoint struct {
 // persistence baseline, and the oracle upper bound) over the setup's
 // trace.
 func PredictorAblation(s *Setup) ([]PredictorPoint, error) {
+	return PredictorAblationContext(context.Background(), s)
+}
+
+// PredictorAblationContext is PredictorAblation with cancellation
+// threaded into every run's per-tick check.
+func PredictorAblationContext(ctx context.Context, s *Setup) ([]PredictorPoint, error) {
 	seq, _, err := s.TempSequence()
 	if err != nil {
 		return nil, err
@@ -155,9 +168,9 @@ func PredictorAblation(s *Setup) ([]PredictorPoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		jobs = append(jobs, sim.Job{Sys: s.Sys, Trace: s.Trace, Ctrl: dnor, Opts: s.Opts})
+		jobs = append(jobs, sim.Job{Sys: s.Sys, Trace: s.Trace, Ctrl: dnor, Opts: s.summaryOpts()})
 	}
-	results, err := sim.Batch{Workers: s.Opts.Workers}.Run(jobs)
+	results, err := sim.Batch{Workers: s.Opts.Workers}.RunContext(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -183,6 +196,12 @@ type WindowPoint struct {
 // INOR's [nmin, nmax]) and measures delivered energy, demonstrating why
 // the group-count window matters (Section III.B).
 func WindowAblation(s *Setup, windows [][2]float64) ([]WindowPoint, error) {
+	return WindowAblationContext(context.Background(), s, windows)
+}
+
+// WindowAblationContext is WindowAblation with cancellation threaded
+// into every run's per-tick check.
+func WindowAblationContext(ctx context.Context, s *Setup, windows [][2]float64) ([]WindowPoint, error) {
 	jobs := make([]sim.Job, 0, len(windows))
 	for _, w := range windows {
 		if w[1] <= w[0] {
@@ -198,9 +217,9 @@ func WindowAblation(s *Setup, windows [][2]float64) ([]WindowPoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		jobs = append(jobs, sim.Job{Sys: setup.Sys, Trace: s.Trace, Ctrl: inor, Opts: s.Opts})
+		jobs = append(jobs, sim.Job{Sys: setup.Sys, Trace: s.Trace, Ctrl: inor, Opts: s.summaryOpts()})
 	}
-	results, err := sim.Batch{Workers: s.Opts.Workers}.Run(jobs)
+	results, err := sim.Batch{Workers: s.Opts.Workers}.RunContext(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -226,6 +245,12 @@ type MarginPoint struct {
 // synthetic trace's switch count and the paper's (EXPERIMENTS.md
 // Table I note 1).
 func MarginAblation(s *Setup, marginsJ []float64) ([]MarginPoint, error) {
+	return MarginAblationContext(context.Background(), s, marginsJ)
+}
+
+// MarginAblationContext is MarginAblation with cancellation threaded
+// into every run's per-tick check.
+func MarginAblationContext(ctx context.Context, s *Setup, marginsJ []float64) ([]MarginPoint, error) {
 	eval, err := s.Evaluator()
 	if err != nil {
 		return nil, err
@@ -246,9 +271,9 @@ func MarginAblation(s *Setup, marginsJ []float64) ([]MarginPoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		jobs = append(jobs, sim.Job{Sys: s.Sys, Trace: s.Trace, Ctrl: dnor, Opts: s.Opts})
+		jobs = append(jobs, sim.Job{Sys: s.Sys, Trace: s.Trace, Ctrl: dnor, Opts: s.summaryOpts()})
 	}
-	results, err := sim.Batch{Workers: s.Opts.Workers}.Run(jobs)
+	results, err := sim.Batch{Workers: s.Opts.Workers}.RunContext(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"tegrecon/internal/drive"
@@ -30,9 +31,17 @@ type BankPoint struct {
 // is nonlinear. Paths are electrically independent here (one charger
 // per path); a shared-bus variant would only widen the gap.
 func BankStudy(s *Setup, paths int, levels []float64) ([]BankPoint, error) {
+	return BankStudyContext(context.Background(), s, paths, levels)
+}
+
+// BankStudyContext is BankStudy with cancellation: the context reaches
+// every run's per-tick check, so a cancel aborts the study within one
+// control period.
+func BankStudyContext(ctx context.Context, s *Setup, paths int, levels []float64) ([]BankPoint, error) {
 	if paths < 2 {
 		return nil, fmt.Errorf("experiments: bank study needs ≥2 paths, got %d", paths)
 	}
+	opts := s.summaryOpts()
 	// Flatten the whole study — every (level, path) pair contributes an
 	// independent INOR and baseline run — into one batch.
 	jobs := make([]sim.Job, 0, 2*paths*len(levels))
@@ -57,12 +66,12 @@ func BankStudy(s *Setup, paths int, levels []float64) ([]BankPoint, error) {
 				return nil, err
 			}
 			jobs = append(jobs,
-				sim.Job{Sys: s.Sys, Trace: pathTrace, Ctrl: inor, Opts: s.Opts},
-				sim.Job{Sys: s.Sys, Trace: pathTrace, Ctrl: base, Opts: s.Opts})
+				sim.Job{Sys: s.Sys, Trace: pathTrace, Ctrl: inor, Opts: opts},
+				sim.Job{Sys: s.Sys, Trace: pathTrace, Ctrl: base, Opts: opts})
 			levelOf = append(levelOf, li, li)
 		}
 	}
-	results, err := sim.Batch{Workers: s.Opts.Workers}.Run(jobs)
+	results, err := sim.Batch{Workers: s.Opts.Workers}.RunContext(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}

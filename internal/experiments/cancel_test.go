@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"tegrecon/internal/sim"
+)
+
+// TestScenarioSweepCancelAbortsWithinOnePeriod cancels a parallel
+// scenario sweep mid-flight and checks both halves of the contract: the
+// sweep surfaces a wrapped context.Canceled, and every in-flight run
+// stops within one control period — at most one extra tick per worker
+// (a Step already past its per-tick context check when the cancel
+// lands) is simulated after the trigger.
+func TestScenarioSweepCancelAbortsWithinOnePeriod(t *testing.T) {
+	s, err := DefaultSetup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 2
+	const cancelAt = 40
+	s.Opts.Workers = workers
+	s.Opts.DeterministicRuntime = true
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ticks atomic.Int64
+	s.Opts.OnTick = func(sim.Tick) {
+		if ticks.Add(1) == cancelAt {
+			cancel()
+		}
+	}
+
+	_, err = ScenarioSweepContext(ctx, s, ScenarioOptions{MaxDuration: 120})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	total := ticks.Load()
+	if total < cancelAt {
+		t.Fatalf("sweep finished only %d ticks before the cancel trigger at %d", total, cancelAt)
+	}
+	if total > cancelAt+workers {
+		t.Errorf("simulated %d ticks after cancellation at %d — more than one control period per worker leaked", total-cancelAt, cancelAt)
+	}
+}
+
+// TestTableICancelPropagates covers the serial (Workers: 1) path: the
+// cancel must surface from the batch's calling-goroutine loop too.
+func TestTableICancelPropagates(t *testing.T) {
+	s := shortSetup(t, 60)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ticks atomic.Int64
+	s.Opts.OnTick = func(sim.Tick) {
+		if ticks.Add(1) == 20 {
+			cancel()
+		}
+	}
+	if _, err := TableIContext(ctx, s); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if got := ticks.Load(); got != 20 {
+		t.Errorf("serial run simulated %d ticks after cancellation at 20", got-20)
+	}
+}

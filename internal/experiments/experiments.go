@@ -40,6 +40,15 @@ func DefaultSetup() (*Setup, error) {
 	}, nil
 }
 
+// summaryOpts strips the per-tick buffers from the setup's options:
+// the drivers that read only run summaries (Table I, the sweeps, the
+// ablations) use it so long runs stop paying O(duration) memory each.
+func (s *Setup) summaryOpts() sim.Options {
+	opts := s.Opts
+	opts.KeepTicks = false
+	return opts
+}
+
 // Evaluator builds the shared pricing engine.
 func (s *Setup) Evaluator() (*core.Evaluator, error) {
 	return core.NewEvaluator(s.Sys.Spec, s.Sys.Conv)

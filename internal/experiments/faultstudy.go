@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"tegrecon/internal/core"
@@ -40,6 +41,13 @@ func (s *Setup) buildController(name string) (core.Controller, error) {
 // static baseline cannot — the extension of the paper's Section I
 // robustness motivation.
 func FaultStudy(s *Setup, failures int, seed int64) ([]FaultPoint, error) {
+	return FaultStudyContext(context.Background(), s, failures, seed)
+}
+
+// FaultStudyContext is FaultStudy with cancellation: the context reaches
+// every run's per-tick check, so a cancel aborts the study within one
+// control period.
+func FaultStudyContext(ctx context.Context, s *Setup, failures int, seed int64) ([]FaultPoint, error) {
 	if failures <= 0 {
 		return nil, fmt.Errorf("experiments: non-positive failure count %d", failures)
 	}
@@ -49,7 +57,8 @@ func FaultStudy(s *Setup, failures int, seed int64) ([]FaultPoint, error) {
 	}
 	schemes := []string{"DNOR", "INOR", "Baseline"}
 	// Two independent runs per scheme (healthy and faulted) — one batch.
-	faultOpts := s.Opts
+	cleanOpts := s.summaryOpts()
+	faultOpts := cleanOpts
 	faultOpts.FaultPlan = plan
 	jobs := make([]sim.Job, 0, 2*len(schemes))
 	for _, name := range schemes {
@@ -62,10 +71,10 @@ func FaultStudy(s *Setup, failures int, seed int64) ([]FaultPoint, error) {
 			return nil, err
 		}
 		jobs = append(jobs,
-			sim.Job{Sys: s.Sys, Trace: s.Trace, Ctrl: clean, Opts: s.Opts},
+			sim.Job{Sys: s.Sys, Trace: s.Trace, Ctrl: clean, Opts: cleanOpts},
 			sim.Job{Sys: s.Sys, Trace: s.Trace, Ctrl: faulted, Opts: faultOpts})
 	}
-	results, err := sim.Batch{Workers: s.Opts.Workers}.Run(jobs)
+	results, err := sim.Batch{Workers: s.Opts.Workers}.RunContext(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}

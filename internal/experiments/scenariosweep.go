@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -59,6 +60,13 @@ func scenarioSchemes(s *Setup) []func() (core.Controller, error) {
 // with s.Opts.DeterministicRuntime set the whole sweep is bit-identical
 // at any worker count.
 func ScenarioSweep(s *Setup, opts ScenarioOptions) (*ScenarioSweepResult, error) {
+	return ScenarioSweepContext(context.Background(), s, opts)
+}
+
+// ScenarioSweepContext is ScenarioSweep with cancellation: the context
+// reaches every job's per-tick check, so a cancel aborts each in-flight
+// run within one control period and no further jobs start.
+func ScenarioSweepContext(ctx context.Context, s *Setup, opts ScenarioOptions) (*ScenarioSweepResult, error) {
 	cycles := opts.Cycles
 	if cycles == nil {
 		cycles = drive.Cycles()
@@ -71,6 +79,7 @@ func ScenarioSweep(s *Setup, opts ScenarioOptions) (*ScenarioSweepResult, error)
 	}
 	builders := scenarioSchemes(s)
 
+	runOpts := s.summaryOpts()
 	var jobs []sim.Job
 	for _, cy := range cycles {
 		cfg := drive.DefaultSynthConfig()
@@ -84,10 +93,10 @@ func ScenarioSweep(s *Setup, opts ScenarioOptions) (*ScenarioSweepResult, error)
 			if err != nil {
 				return nil, err
 			}
-			jobs = append(jobs, sim.Job{Sys: s.Sys, Trace: tr, Ctrl: ctrl, Opts: s.Opts})
+			jobs = append(jobs, sim.Job{Sys: s.Sys, Trace: tr, Ctrl: ctrl, Opts: runOpts})
 		}
 	}
-	results, err := sim.Batch{Workers: s.Opts.Workers}.Run(jobs)
+	results, err := sim.Batch{Workers: s.Opts.Workers}.RunContext(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}

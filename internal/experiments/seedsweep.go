@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -34,13 +35,20 @@ type SeedSweepResult struct {
 // runtimes, and dropping the wall-clock term makes the result
 // bit-identical across repeats and worker counts.
 func SeedSweep(s *Setup, seeds int, duration float64) (*SeedSweepResult, error) {
+	return SeedSweepContext(context.Background(), s, seeds, duration)
+}
+
+// SeedSweepContext is SeedSweep with cancellation: the context reaches
+// every run's per-tick check, so a cancel aborts the sweep within one
+// control period.
+func SeedSweepContext(ctx context.Context, s *Setup, seeds int, duration float64) (*SeedSweepResult, error) {
 	if seeds < 2 {
 		return nil, fmt.Errorf("experiments: seed sweep needs ≥2 seeds, got %d", seeds)
 	}
 	if duration <= 0 {
 		return nil, fmt.Errorf("experiments: non-positive duration %g", duration)
 	}
-	opts := s.Opts
+	opts := s.summaryOpts()
 	opts.DeterministicRuntime = true
 	jobs := make([]sim.Job, 0, 3*seeds)
 	for seed := int64(1); seed <= int64(seeds); seed++ {
@@ -67,7 +75,7 @@ func SeedSweep(s *Setup, seeds int, duration float64) (*SeedSweepResult, error) 
 			jobs = append(jobs, sim.Job{Sys: s.Sys, Trace: tr, Ctrl: c, Opts: opts})
 		}
 	}
-	results, err := sim.Batch{Workers: s.Opts.Workers}.Run(jobs)
+	results, err := sim.Batch{Workers: s.Opts.Workers}.RunContext(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}

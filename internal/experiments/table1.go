@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -37,6 +38,13 @@ type TableIResult struct {
 
 // TableI runs the four schemes of Table I over the setup's trace.
 func TableI(s *Setup) (*TableIResult, error) {
+	return TableIContext(context.Background(), s)
+}
+
+// TableIContext is TableI with cancellation: the context reaches every
+// run's per-tick check, so a cancel aborts the whole study within one
+// control period.
+func TableIContext(ctx context.Context, s *Setup) (*TableIResult, error) {
 	dnor, err := s.NewDNOR()
 	if err != nil {
 		return nil, err
@@ -53,7 +61,7 @@ func TableI(s *Setup) (*TableIResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	results, err := sim.RunAll(s.Sys, s.Trace, []core.Controller{dnor, inor, ehtr, base}, s.Opts)
+	results, err := sim.RunAllContext(ctx, s.Sys, s.Trace, []core.Controller{dnor, inor, ehtr, base}, s.summaryOpts())
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -49,6 +50,16 @@ type Batch struct {
 
 // Run executes the jobs and collects their results in job order.
 func (b Batch) Run(jobs []Job) ([]*Result, error) {
+	return b.RunContext(context.Background(), jobs)
+}
+
+// RunContext is Run with cancellation: the context reaches every job's
+// per-tick check (sim.RunContext), so a cancel aborts each in-flight run
+// within one control period, stops the claim loop from starting new
+// jobs, and — after every worker goroutine has drained — surfaces as the
+// lowest-indexed job error wrapping ctx.Err(). No goroutines outlive the
+// call.
+func (b Batch) RunContext(ctx context.Context, jobs []Job) ([]*Result, error) {
 	if len(jobs) == 0 {
 		return nil, nil
 	}
@@ -74,7 +85,7 @@ func (b Batch) Run(jobs []Job) ([]*Result, error) {
 	results := make([]*Result, len(jobs))
 	if workers == 1 {
 		for i, j := range jobs {
-			r, err := Run(j.Sys, j.Trace, j.Ctrl, j.Opts)
+			r, err := RunContext(ctx, j.Sys, j.Trace, j.Ctrl, j.Opts)
 			if err != nil {
 				return nil, jobError(i, j, err)
 			}
@@ -93,11 +104,11 @@ func (b Batch) Run(jobs []Job) ([]*Result, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(jobs) || failed.Load() {
+				if i >= len(jobs) || failed.Load() || ctx.Err() != nil {
 					return
 				}
 				j := jobs[i]
-				r, err := Run(j.Sys, j.Trace, j.Ctrl, j.Opts)
+				r, err := RunContext(ctx, j.Sys, j.Trace, j.Ctrl, j.Opts)
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)
@@ -111,6 +122,17 @@ func (b Batch) Run(jobs []Job) ([]*Result, error) {
 	for i, err := range errs {
 		if err != nil {
 			return nil, jobError(i, jobs[i], err)
+		}
+	}
+	// A cancel can land while every worker sits between jobs (at the top
+	// of the claim loop), in which case no run ever observed ctx and errs
+	// stays empty — but unclaimed jobs left nil holes in results. Never
+	// hand callers a partial slice with a nil error.
+	if err := ctx.Err(); err != nil {
+		for i, r := range results {
+			if r == nil {
+				return nil, jobError(i, jobs[i], err)
+			}
 		}
 	}
 	return results, nil

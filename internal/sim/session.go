@@ -1,0 +1,338 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"tegrecon/internal/array"
+	"tegrecon/internal/battery"
+	"tegrecon/internal/core"
+	"tegrecon/internal/faults"
+	"tegrecon/internal/mppt"
+	"tegrecon/internal/teg"
+	"tegrecon/internal/thermal"
+)
+
+// Session is the incremental simulation engine: one controller, one
+// system, stepped one control period at a time. Where Run consumes a
+// complete pre-built trace, a Session is fed its radiator boundary
+// conditions call by call, so it can be driven from live telemetry,
+// checkpointed mid-run (Result is callable at any point), interleaved
+// with thousands of siblings, or simply replayed from a trace — which is
+// exactly what Run now does.
+//
+// The paper's controllers are online algorithms deciding a topology
+// every 0.5 s from the temperatures of that instant; Session is the
+// engine shape that matches them. A Session is not safe for concurrent
+// use; drive each instance from one goroutine.
+type Session struct {
+	sys  *System
+	ctrl core.Controller
+	opts Options
+
+	rng          *rand.Rand
+	bat          *battery.LeadAcid
+	faultTracker *faults.Tracker
+	tracker      *mppt.Tracker
+	trackerIdled bool
+	prevCfg      core.Decision
+	havePrev     bool
+	powerOn      array.Config
+	opsBuf       []teg.OperatingPoint // scratch reused across steps
+	sensed       []float64            // scratch: noisy controller view
+
+	res          *Result
+	totalRuntime time.Duration
+	effSum       float64
+	effN         int
+	steps        int
+}
+
+// NewSession validates the rig and builds a session at its power-on
+// state: the switch fabric all-parallel (the zero-energy default of
+// Fig. 4's network), the controller reset, the battery (when enabled)
+// at its initial state of charge, and the session clock at
+// opts.StartTime.
+func NewSession(sys *System, ctrl core.Controller, opts Options) (*Session, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("sim: nil system")
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if ctrl == nil {
+		return nil, fmt.Errorf("sim: nil controller")
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+
+	var bat *battery.LeadAcid
+	if opts.Battery {
+		var err error
+		bat, err = battery.NewLeadAcid(0.6)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opts.ChargeProfile != nil {
+		if err := opts.ChargeProfile.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	var faultTracker *faults.Tracker
+	if opts.FaultPlan != nil {
+		if opts.FaultPlan.Modules() != sys.Modules {
+			return nil, fmt.Errorf("sim: fault plan for %d modules on a %d-module system", opts.FaultPlan.Modules(), sys.Modules)
+		}
+		var err error
+		faultTracker, err = faults.NewTracker(opts.FaultPlan)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ctrl.Reset()
+	return &Session{
+		sys:          sys,
+		ctrl:         ctrl,
+		opts:         opts,
+		rng:          rand.New(rand.NewSource(opts.Seed)),
+		bat:          bat,
+		faultTracker: faultTracker,
+		// The fabric's power-on state: every boundary in parallel. The
+		// first reprogram is priced against it, so commissioning a
+		// topology pays its real toggle count instead of a zero-toggle
+		// no-op.
+		powerOn: array.AllParallel(sys.Modules),
+		sensed:  make([]float64, sys.Modules),
+		res:     &Result{Scheme: ctrl.Name()},
+	}, nil
+}
+
+// Steps returns how many control periods have been simulated.
+func (s *Session) Steps() int { return s.steps }
+
+// Now returns the session-clock timestamp the next Step will carry
+// (StartTime + steps·TickSeconds).
+func (s *Session) Now() float64 {
+	return s.opts.StartTime + float64(s.steps)*s.opts.TickSeconds
+}
+
+// Step advances the session one control period under the given radiator
+// boundary conditions: it senses (noisy) module temperatures, asks the
+// controller for a topology, operates the chosen configuration through
+// the MPPT and converter into the battery, and accounts energy and
+// switching overhead. It returns the period's Tick record (also passed
+// to Options.OnTick and, when Options.KeepTicks is set, buffered into
+// the Result).
+func (s *Session) Step(cond thermal.Conditions) (Tick, error) {
+	k := s.steps
+	now := s.Now()
+	temps, err := s.sys.Radiator.ModuleTemps(cond, s.sys.Modules)
+	if err != nil {
+		return Tick{}, fmt.Errorf("sim: t=%g: %w", now, err)
+	}
+	var health []array.ModuleHealth
+	if s.faultTracker != nil {
+		health, _, err = s.faultTracker.AdvanceTo(now)
+		if err != nil {
+			return Tick{}, err
+		}
+	}
+	for i, tv := range temps {
+		s.sensed[i] = tv + s.rng.NormFloat64()*s.opts.SensorNoiseC
+		if health != nil && health[i] != array.Healthy {
+			// Fault detection: the controller sees a dead module as one
+			// at ambient (zero harvestable ΔT).
+			s.sensed[i] = cond.AirInletC
+		}
+	}
+
+	dec, err := s.ctrl.Decide(k, s.sensed, cond.AirInletC)
+	if err != nil {
+		return Tick{}, fmt.Errorf("sim: %s at t=%g: %w", s.ctrl.Name(), now, err)
+	}
+	computeTime := dec.ComputeTime
+	if s.opts.DeterministicRuntime {
+		computeTime = 0
+	}
+
+	// Plant: true temperatures (and true health), chosen config.
+	s.opsBuf = teg.OpsFromTempsInto(s.opsBuf, temps, cond.AirInletC)
+	arr, err := array.NewWithHealth(s.sys.Spec, s.opsBuf, health)
+	if err != nil {
+		return Tick{}, err
+	}
+	eq, err := arr.Equivalent(dec.Config)
+	if err != nil {
+		return Tick{}, fmt.Errorf("sim: %s produced bad config at t=%g: %w", s.ctrl.Name(), now, err)
+	}
+	// The charger's P&O search window spans the configuration's
+	// short-circuit current; a topology change discards the old
+	// operating point (cold restart — part of the MPPT-settle overhead
+	// the switch accounting charges). The charging stage (when
+	// scheduled) retargets the converter's output voltage, shifting its
+	// efficiency peak.
+	conv := s.sys.Conv
+	if s.opts.ChargeProfile != nil {
+		conv.OutputVoltage = s.opts.ChargeProfile.TargetVoltage(s.bat.SoC)
+	}
+	var gross, opCurrent float64
+	usable := !eq.Broken && eq.Voc > 0 && eq.R > 0
+	if usable {
+		// A topology change cold-restarts the tracker, and so does any
+		// recovery from an unusable circuit (a broken chain, or a
+		// zero-EMF spell with every module at ambient): while tracking
+		// was suspended the tracker slept on whatever circuit preceded
+		// the outage, so its search window's short-circuit current is
+		// stale and can clamp the recovered array far below its MPP.
+		if s.tracker == nil || dec.Switched || s.trackerIdled {
+			isc := eq.Voc / eq.R
+			s.tracker, err = mppt.New(mppt.DefaultOptions(isc))
+			if err != nil {
+				return Tick{}, err
+			}
+		}
+		delivered := func(i float64) float64 {
+			v := eq.VoltageAt(i)
+			return conv.OutputPower(v, v*i)
+		}
+		op := s.tracker.Track(delivered)
+		gross, opCurrent = op.Power, op.Current
+	}
+	s.trackerIdled = !usable
+
+	if s.opts.SelfCheck {
+		if rel, err := arr.EnergyConservationCheck(dec.Config, opCurrent); err != nil || rel > 1e-6 {
+			return Tick{}, fmt.Errorf("sim: energy conservation violated at t=%g: rel=%v err=%v", now, rel, err)
+		}
+	}
+
+	// Overhead accounting: only fabric reprograms cost energy.
+	overheadJ := 0.0
+	toggles := 0
+	if dec.Switched {
+		prev := s.powerOn
+		if s.havePrev {
+			prev = s.prevCfg.Config
+		}
+		cost, err := s.sys.Overhead.ForcedCost(prev, dec.Config, gross, computeTime)
+		if err != nil {
+			return Tick{}, err
+		}
+		overheadJ = cost.Energy
+		toggles = cost.SwitchCount
+	}
+	netJ := gross*s.opts.TickSeconds - overheadJ
+	if netJ < 0 {
+		netJ = 0
+	}
+
+	tegEff := 0.0
+	if gross > 0 {
+		tegEff, err = arr.ConversionEfficiency(dec.Config, opCurrent)
+		if err != nil {
+			return Tick{}, err
+		}
+	}
+	if s.bat != nil {
+		if _, err := s.bat.Accept(netJ/s.opts.TickSeconds, s.opts.TickSeconds); err != nil {
+			return Tick{}, err
+		}
+	}
+
+	// Commit. Every fallible call is behind us, so a Step that returned
+	// an error above has left the Result accumulators and the session
+	// clock untouched — Result() stays consistent after a failure, and
+	// nothing is double-counted. (Plant state — controller history, MPPT
+	// window, battery charge — is not rolled back; treat a failed Step as
+	// the end of the session, not a retryable blip.)
+	ideal := arr.IdealPower()
+	tick := Tick{
+		Time:     now,
+		GrossW:   gross,
+		NetW:     netJ / s.opts.TickSeconds,
+		IdealW:   ideal,
+		Switched: dec.Switched,
+		Toggles:  toggles,
+		Overhead: overheadJ,
+		Runtime:  computeTime,
+		Groups:   dec.Config.Groups(),
+		TEGEff:   tegEff,
+	}
+	if ideal > 0 {
+		tick.Ratio = tick.NetW / ideal
+	}
+	if s.opts.KeepTicks {
+		s.res.Ticks = append(s.res.Ticks, tick)
+	}
+	if dec.Switched {
+		s.res.SwitchEvents++
+		s.res.SwitchToggles += toggles
+	}
+	s.totalRuntime += computeTime
+	if computeTime > s.res.MaxRuntime {
+		s.res.MaxRuntime = computeTime
+	}
+	s.res.EnergyOutJ += netJ
+	s.res.OverheadJ += overheadJ
+	s.res.IdealEnergyJ += ideal * s.opts.TickSeconds
+	if tegEff > 0 {
+		s.effSum += tegEff
+		s.effN++
+	}
+	s.prevCfg = dec
+	s.havePrev = true
+	s.steps++
+
+	if s.opts.OnTick != nil {
+		s.opts.OnTick(tick)
+	}
+	return tick, nil
+}
+
+// Result finalizes the aggregate statistics (average runtime, mean TEG
+// efficiency, battery energy) and returns the session's Result. It is a
+// checkpoint, not a terminator: it may be called at any point — even
+// mid-run — and stepping may continue afterwards; the returned value is
+// the session's live accumulator, updated in place by further Steps.
+func (s *Session) Result() *Result {
+	if s.steps > 0 {
+		s.res.AvgRuntime = s.totalRuntime / time.Duration(s.steps)
+	}
+	if s.effN > 0 {
+		s.res.AvgTEGEff = s.effSum / float64(s.effN)
+	}
+	if s.bat != nil {
+		s.res.BatteryJ = s.bat.AbsorbedJoules()
+	}
+	return s.res
+}
+
+// Validate rejects option values the engine cannot run: a control
+// period that is not a positive finite number (NaN used to slip past
+// the old `<= 0` check and poison the tick count), non-finite or
+// negative sensor noise, a non-finite session clock origin, a negative
+// worker bound, and a charge profile without the battery it drives.
+func (o Options) Validate() error {
+	if math.IsNaN(o.TickSeconds) || math.IsInf(o.TickSeconds, 0) || o.TickSeconds <= 0 {
+		return fmt.Errorf("sim: tick period %g is not a positive finite number of seconds", o.TickSeconds)
+	}
+	if math.IsNaN(o.SensorNoiseC) || math.IsInf(o.SensorNoiseC, 0) || o.SensorNoiseC < 0 {
+		return fmt.Errorf("sim: sensor noise %g is not a non-negative finite °C", o.SensorNoiseC)
+	}
+	if math.IsNaN(o.StartTime) || math.IsInf(o.StartTime, 0) {
+		return fmt.Errorf("sim: non-finite start time %g", o.StartTime)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("sim: negative worker count %d", o.Workers)
+	}
+	if o.ChargeProfile != nil && !o.Battery {
+		return fmt.Errorf("sim: charge profile requires the battery")
+	}
+	return nil
+}

@@ -7,19 +7,16 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"math/rand"
 	"time"
 
-	"tegrecon/internal/array"
-	"tegrecon/internal/battery"
 	"tegrecon/internal/charger"
 	"tegrecon/internal/converter"
 	"tegrecon/internal/core"
 	"tegrecon/internal/drive"
 	"tegrecon/internal/faults"
-	"tegrecon/internal/mppt"
 	"tegrecon/internal/switchfab"
 	"tegrecon/internal/teg"
 	"tegrecon/internal/thermal"
@@ -108,11 +105,29 @@ type Options struct {
 	// one. Leave it false to keep the paper's Section III.C accounting,
 	// where the algorithm's own runtime is part of the overhead.
 	DeterministicRuntime bool
+	// StartTime is the session clock's origin in seconds: Tick.Time
+	// stamps and fault-plan advances run on this clock. Run overrides it
+	// with the trace's first timestamp; a live Session usually leaves
+	// it 0.
+	StartTime float64
+	// OnTick, when non-nil, observes every Tick as it is produced —
+	// streaming output for live dashboards, progress lines and
+	// checkpointers. It is called synchronously from the simulation
+	// goroutine; when one Options value fans out across a Batch, the
+	// callback fires from many goroutines at once and must be safe for
+	// concurrent use.
+	OnTick func(Tick)
+	// KeepTicks buffers every Tick in Result.Ticks. DefaultOptions sets
+	// it true (the pre-Session behaviour every figure generator relies
+	// on); long sweeps that only read the Result summaries switch it off
+	// to stop paying O(duration) memory per run. A zero-valued Options
+	// literal must opt back in explicitly.
+	KeepTicks bool
 }
 
 // DefaultOptions returns the experimental settings.
 func DefaultOptions() Options {
-	return Options{TickSeconds: 0.5, SensorNoiseC: 0.1, Seed: 7, Battery: false, Workers: 1}
+	return Options{TickSeconds: 0.5, SensorNoiseC: 0.1, Seed: 7, Battery: false, Workers: 1, KeepTicks: true}
 }
 
 // Tick is the per-control-period record behind Figs. 6 and 7.
@@ -145,233 +160,44 @@ type Result struct {
 	Ticks         []Tick
 }
 
-// Run simulates one controller over the trace.
+// Run simulates one controller over the trace. It is a thin trace-replay
+// wrapper over Session: the trace supplies each period's radiator
+// boundary conditions, Session does the physics.
 func Run(sys *System, tr *trace.Trace, ctrl core.Controller, opts Options) (*Result, error) {
-	if err := sys.Validate(); err != nil {
-		return nil, err
-	}
+	return RunContext(context.Background(), sys, tr, ctrl, opts)
+}
+
+// RunContext is Run with cancellation: the context is checked once per
+// control period, so a cancel aborts within one tick of the simulated
+// loop and the returned error wraps ctx.Err().
+func RunContext(ctx context.Context, sys *System, tr *trace.Trace, ctrl core.Controller, opts Options) (*Result, error) {
 	if tr == nil || tr.Len() < 2 {
 		return nil, fmt.Errorf("sim: trace too short")
 	}
-	if opts.TickSeconds <= 0 {
-		return nil, fmt.Errorf("sim: non-positive tick %g", opts.TickSeconds)
+	opts.StartTime = tr.Times[0]
+	sess, err := NewSession(sys, ctrl, opts)
+	if err != nil {
+		return nil, err
 	}
-	if opts.SensorNoiseC < 0 {
-		return nil, fmt.Errorf("sim: negative sensor noise %g", opts.SensorNoiseC)
-	}
-	rng := rand.New(rand.NewSource(opts.Seed))
-	ctrl.Reset()
-
-	var bat *battery.LeadAcid
-	if opts.Battery {
-		var err error
-		bat, err = battery.NewLeadAcid(0.6)
-		if err != nil {
-			return nil, err
-		}
-	}
-	if opts.ChargeProfile != nil {
-		if !opts.Battery {
-			return nil, fmt.Errorf("sim: charge profile requires the battery")
-		}
-		if err := opts.ChargeProfile.Validate(); err != nil {
-			return nil, err
-		}
-	}
-
-	res := &Result{Scheme: ctrl.Name()}
 	ticks := int(math.Floor(tr.Duration()/opts.TickSeconds)) + 1
-	res.Ticks = make([]Tick, 0, ticks)
-
-	var faultTracker *faults.Tracker
-	if opts.FaultPlan != nil {
-		if opts.FaultPlan.Modules() != sys.Modules {
-			return nil, fmt.Errorf("sim: fault plan for %d modules on a %d-module system", opts.FaultPlan.Modules(), sys.Modules)
-		}
-		var err error
-		faultTracker, err = faults.NewTracker(opts.FaultPlan)
-		if err != nil {
-			return nil, err
-		}
+	if opts.KeepTicks {
+		// The replay knows its span up front; pre-size the buffer the way
+		// the pre-Session monolith did.
+		sess.res.Ticks = make([]Tick, 0, ticks)
 	}
-
-	var tracker *mppt.Tracker
-	var prevCfg *core.Decision
-	var totalRuntime time.Duration
-	t0 := tr.Times[0]
-	sensed := make([]float64, sys.Modules)
-	// The fabric's power-on state: every boundary in parallel (the
-	// zero-energy default of Fig. 4's switch network). The first reprogram
-	// is priced against it, so commissioning a topology pays its real
-	// toggle count instead of a zero-toggle no-op.
-	powerOn := array.AllParallel(sys.Modules)
-	var opsBuf []teg.OperatingPoint // scratch reused across ticks
-	trackerIdled := false
 	for k := 0; k < ticks; k++ {
-		now := t0 + float64(k)*opts.TickSeconds
-		cond, err := drive.ConditionsAt(tr, now)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sim: %s canceled at t=%g: %w", ctrl.Name(), sess.Now(), err)
+		}
+		cond, err := drive.ConditionsAt(tr, sess.Now())
 		if err != nil {
-			return nil, fmt.Errorf("sim: t=%g: %w", now, err)
+			return nil, fmt.Errorf("sim: t=%g: %w", sess.Now(), err)
 		}
-		temps, err := sys.Radiator.ModuleTemps(cond, sys.Modules)
-		if err != nil {
-			return nil, fmt.Errorf("sim: t=%g: %w", now, err)
-		}
-		var health []array.ModuleHealth
-		if faultTracker != nil {
-			health, _, err = faultTracker.AdvanceTo(now)
-			if err != nil {
-				return nil, err
-			}
-		}
-		for i, tv := range temps {
-			sensed[i] = tv + rng.NormFloat64()*opts.SensorNoiseC
-			if health != nil && health[i] != array.Healthy {
-				// Fault detection: the controller sees a dead module as
-				// one at ambient (zero harvestable ΔT).
-				sensed[i] = cond.AirInletC
-			}
-		}
-
-		dec, err := ctrl.Decide(k, sensed, cond.AirInletC)
-		if err != nil {
-			return nil, fmt.Errorf("sim: %s at t=%g: %w", ctrl.Name(), now, err)
-		}
-		computeTime := dec.ComputeTime
-		if opts.DeterministicRuntime {
-			computeTime = 0
-		}
-		totalRuntime += computeTime
-		if computeTime > res.MaxRuntime {
-			res.MaxRuntime = computeTime
-		}
-
-		// Plant: true temperatures (and true health), chosen config.
-		opsBuf = teg.OpsFromTempsInto(opsBuf, temps, cond.AirInletC)
-		arr, err := array.NewWithHealth(sys.Spec, opsBuf, health)
-		if err != nil {
+		if _, err := sess.Step(cond); err != nil {
 			return nil, err
 		}
-		eq, err := arr.Equivalent(dec.Config)
-		if err != nil {
-			return nil, fmt.Errorf("sim: %s produced bad config at t=%g: %w", ctrl.Name(), now, err)
-		}
-		// The charger's P&O search window spans the configuration's
-		// short-circuit current; a topology change discards the old
-		// operating point (cold restart — part of the MPPT-settle
-		// overhead the switch accounting charges).
-		// The charging stage (when scheduled) retargets the converter's
-		// output voltage, shifting its efficiency peak.
-		conv := sys.Conv
-		if opts.ChargeProfile != nil {
-			conv.OutputVoltage = opts.ChargeProfile.TargetVoltage(bat.SoC)
-		}
-		var gross, opCurrent float64
-		usable := !eq.Broken && eq.Voc > 0 && eq.R > 0
-		if usable {
-			// A topology change cold-restarts the tracker, and so does any
-			// recovery from an unusable circuit (a broken chain, or a
-			// zero-EMF spell with every module at ambient): while tracking
-			// was suspended the tracker slept on whatever circuit preceded
-			// the outage, so its search window's short-circuit current is
-			// stale and can clamp the recovered array far below its MPP.
-			if tracker == nil || dec.Switched || trackerIdled {
-				isc := eq.Voc / eq.R
-				tracker, err = mppt.New(mppt.DefaultOptions(isc))
-				if err != nil {
-					return nil, err
-				}
-			}
-			delivered := func(i float64) float64 {
-				v := eq.VoltageAt(i)
-				return conv.OutputPower(v, v*i)
-			}
-			op := tracker.Track(delivered)
-			gross, opCurrent = op.Power, op.Current
-		}
-		trackerIdled = !usable
-
-		if opts.SelfCheck {
-			if rel, err := arr.EnergyConservationCheck(dec.Config, opCurrent); err != nil || rel > 1e-6 {
-				return nil, fmt.Errorf("sim: energy conservation violated at t=%g: rel=%v err=%v", now, rel, err)
-			}
-		}
-
-		// Overhead accounting: only fabric reprograms cost energy.
-		overheadJ := 0.0
-		toggles := 0
-		if dec.Switched {
-			prev := powerOn
-			if prevCfg != nil {
-				prev = prevCfg.Config
-			}
-			cost, err := sys.Overhead.ForcedCost(prev, dec.Config, gross, computeTime)
-			if err != nil {
-				return nil, err
-			}
-			overheadJ = cost.Energy
-			toggles = cost.SwitchCount
-			res.SwitchEvents++
-			res.SwitchToggles += toggles
-		}
-		netJ := gross*opts.TickSeconds - overheadJ
-		if netJ < 0 {
-			netJ = 0
-		}
-
-		tegEff := 0.0
-		if gross > 0 {
-			tegEff, err = arr.ConversionEfficiency(dec.Config, opCurrent)
-			if err != nil {
-				return nil, err
-			}
-		}
-
-		ideal := arr.IdealPower()
-		tick := Tick{
-			Time:     now,
-			GrossW:   gross,
-			NetW:     netJ / opts.TickSeconds,
-			IdealW:   ideal,
-			Switched: dec.Switched,
-			Toggles:  toggles,
-			Overhead: overheadJ,
-			Runtime:  computeTime,
-			Groups:   dec.Config.Groups(),
-			TEGEff:   tegEff,
-		}
-		if ideal > 0 {
-			tick.Ratio = tick.NetW / ideal
-		}
-		res.Ticks = append(res.Ticks, tick)
-
-		res.EnergyOutJ += netJ
-		res.OverheadJ += overheadJ
-		res.IdealEnergyJ += ideal * opts.TickSeconds
-		if bat != nil {
-			if _, err := bat.Accept(netJ/opts.TickSeconds, opts.TickSeconds); err != nil {
-				return nil, err
-			}
-		}
-		prevCfg = &dec
 	}
-	if n := len(res.Ticks); n > 0 {
-		res.AvgRuntime = totalRuntime / time.Duration(n)
-	}
-	effSum, effN := 0.0, 0
-	for _, tk := range res.Ticks {
-		if tk.TEGEff > 0 {
-			effSum += tk.TEGEff
-			effN++
-		}
-	}
-	if effN > 0 {
-		res.AvgTEGEff = effSum / float64(effN)
-	}
-	if bat != nil {
-		res.BatteryJ = bat.AbsorbedJoules()
-	}
-	return res, nil
+	return sess.Result(), nil
 }
 
 // RunAll runs several controllers over the same trace — the Table I
@@ -379,9 +205,15 @@ func Run(sys *System, tr *trace.Trace, ctrl core.Controller, opts Options) (*Res
 // (see batch.go) with a pool bounded by opts.Workers; results keep the
 // controllers' order.
 func RunAll(sys *System, tr *trace.Trace, ctrls []core.Controller, opts Options) ([]*Result, error) {
+	return RunAllContext(context.Background(), sys, tr, ctrls, opts)
+}
+
+// RunAllContext is RunAll with cancellation threaded through the batch
+// engine into every run's per-tick check.
+func RunAllContext(ctx context.Context, sys *System, tr *trace.Trace, ctrls []core.Controller, opts Options) ([]*Result, error) {
 	jobs := make([]Job, len(ctrls))
 	for i, c := range ctrls {
 		jobs[i] = Job{Sys: sys, Trace: tr, Ctrl: c, Opts: opts}
 	}
-	return Batch{Workers: opts.Workers}.Run(jobs)
+	return Batch{Workers: opts.Workers}.RunContext(ctx, jobs)
 }

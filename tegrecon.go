@@ -18,6 +18,8 @@
 package tegrecon
 
 import (
+	"context"
+
 	"tegrecon/internal/array"
 	"tegrecon/internal/charger"
 	"tegrecon/internal/converter"
@@ -44,6 +46,9 @@ type (
 	SimResult = sim.Result
 	// SimTick is the per-control-period record (Figs. 6–7 data).
 	SimTick = sim.Tick
+	// Session is the incremental simulation engine: one control period
+	// per Step call, driven by live (or replayed) radiator conditions.
+	Session = sim.Session
 	// Controller decides the array topology every control period.
 	Controller = core.Controller
 	// Decision is a controller's per-period output.
@@ -100,6 +105,10 @@ func StandardCycles() []DriveCycle { return drive.Cycles() }
 // CycleByName looks a standard cycle up case-insensitively.
 func CycleByName(name string) (DriveCycle, error) { return drive.CycleByName(name) }
 
+// CycleNames returns the registered standard cycle names in registry
+// order (the list CycleByName accepts).
+func CycleNames() []string { return drive.CycleNames() }
+
 // SynthesizeFromSchedule drives the thermal state machine from a
 // prescribed speed schedule (a standard cycle's, or one ingested from a
 // measured log) instead of the stochastic profile.
@@ -110,6 +119,30 @@ func SynthesizeFromSchedule(cfg DriveConfig, s DriveSchedule) (*Trace, error) {
 // Simulate runs one controller over a drive trace on the given system.
 func Simulate(sys *System, tr *Trace, ctrl Controller, opts SimOptions) (*SimResult, error) {
 	return sim.Run(sys, tr, ctrl, opts)
+}
+
+// SimulateContext is Simulate with cancellation: the context is checked
+// once per control period, so a cancel aborts within one tick and the
+// returned error wraps ctx.Err().
+func SimulateContext(ctx context.Context, sys *System, tr *Trace, ctrl Controller, opts SimOptions) (*SimResult, error) {
+	return sim.RunContext(ctx, sys, tr, ctrl, opts)
+}
+
+// NewSession builds an incremental simulation session: where Simulate
+// consumes a complete pre-built trace, a Session is stepped one control
+// period at a time from whatever supplies its radiator conditions — live
+// telemetry, a replayed trace, or a test harness. Call Step once per
+// period and Result to read (or checkpoint) the aggregate summary; set
+// SimOptions.OnTick to stream per-period records and
+// SimOptions.KeepTicks = false to drop the O(duration) tick buffer.
+func NewSession(sys *System, ctrl Controller, opts SimOptions) (*Session, error) {
+	return sim.NewSession(sys, ctrl, opts)
+}
+
+// ConditionsAt interpolates a drive trace's radiator boundary conditions
+// at time t — the bridge from a recorded trace to Session.Step.
+func ConditionsAt(tr *Trace, t float64) (RadiatorConditions, error) {
+	return drive.ConditionsAt(tr, t)
 }
 
 // NewINORController builds the O(N) instantaneous reconfiguration
