@@ -1,0 +1,74 @@
+// Command tegserve runs the simulation service: the paper's
+// reconfiguration schemes behind an HTTP API with a bounded job queue,
+// SSE tick streaming and a content-addressed result cache
+// (internal/serve).
+//
+// Usage:
+//
+//	tegserve [-addr :8080] [-max-concurrent 0] [-max-queued 64]
+//	         [-workers 0] [-cache 256] [-cache-mb 256] [-drain-timeout 15s]
+//
+// Quick look:
+//
+//	tegserve -addr 127.0.0.1:8080 &
+//	curl -s localhost:8080/v1/schemes
+//	curl -s -N -d '{"cycle":"wltc","scheme":"dnor","duration_s":60,"stream":true}' localhost:8080/v1/runs
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM drain gracefully: in-flight simulations abort within
+// one control period, streams close, and the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tegrecon/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tegserve: ")
+	var (
+		addr         = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		maxConc      = flag.Int("max-concurrent", 0, "simultaneously executing jobs (0 = all CPUs)")
+		maxQueued    = flag.Int("max-queued", 64, "jobs allowed to wait for a slot before load-shedding with 503s (negative = shed immediately, no waiters)")
+		workers      = flag.Int("workers", 0, "sim.Batch worker pool inside one sweep job (0 = all CPUs)")
+		cacheSize    = flag.Int("cache", 256, "content-addressed result cache entries (negative disables)")
+		cacheMB      = flag.Int64("cache-mb", 256, "result cache byte budget in MiB")
+		maxTicks     = flag.Int("max-ticks", 0, "per-job simulated control period limit (0 = 200000)")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown deadline")
+		drainGrace   = flag.Duration("drain-grace", 0, "keep the listener open this long after the drain starts so LB health probes observe the 503")
+	)
+	flag.Parse()
+
+	// First signal starts the drain; a second one falls through to the
+	// default handler and kills immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := serve.New(serve.Config{
+		MaxConcurrent:  *maxConc,
+		MaxQueued:      *maxQueued,
+		Workers:        *workers,
+		CacheEntries:   *cacheSize,
+		CacheBytes:     *cacheMB << 20,
+		MaxTicksPerJob: *maxTicks,
+		DrainGrace:     *drainGrace,
+	})
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on http://%s", l.Addr())
+	if err := srv.Serve(ctx, l, *drainTimeout); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("drained cleanly")
+}

@@ -10,6 +10,7 @@
 //	       [-study table1|faults|seeds|margins|bank|horizon|predictors|scenarios]
 //	       [-workers 1] [-format text|csv|json]
 //	tegsim -scenarios [-scenario-duration 0] [-workers 0]
+//	tegsim -scheme dnor [-json]
 //
 // -scenarios (or -study scenarios) runs every registered standard drive
 // cycle (NEDC, WLTC, FTP-75, HWFET, US06, delivery) under all four
@@ -17,6 +18,11 @@
 // each cycle's simulated seconds (0 = full published schedule). The
 // cycles are prescribed-speed, so -duration and -seed (which shape the
 // stochastic trace) do not apply to this mode.
+//
+// -scheme runs a single registered scheme over the stochastic trace
+// instead of a study; with -json the full run Result (including every
+// per-control-period tick) is emitted in the versioned report schema —
+// the same payload the tegserve API serves.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 
@@ -76,10 +83,35 @@ func main() {
 
 		scenarios   = flag.Bool("scenarios", false, "shorthand for -study scenarios: sweep every standard drive cycle under all four schemes")
 		scenarioCap = flag.Float64("scenario-duration", 0, "cap each scenario cycle at this many seconds (0 = full published schedule)")
+
+		// The -scheme usage text advertises exactly the registered
+		// schemes, so a new registry entry shows up here without a CLI
+		// edit — the same contract tegtrace's -cycle has with the drive
+		// registry.
+		scheme  = flag.String("scheme", "", "run a single scheme ("+strings.Join(sim.SchemeNames(), ", ")+") over the trace instead of a -study")
+		jsonOut = flag.Bool("json", false, "with -scheme, emit the full run Result as versioned JSON (report schema)")
 	)
 	flag.Parse()
 	if *scenarios {
 		*study = "scenarios"
+	}
+	// Scheme.New treats horizon 0 as "use the default"; at the CLI an
+	// explicit -horizon 0 is a mistake and must not silently become 4.
+	if *horizon < 1 {
+		log.Fatalf("-horizon %d: DNOR needs a prediction horizon of at least 1 tick", *horizon)
+	}
+	// -scheme replaces the study entirely, so combining them would
+	// silently discard whichever one the user meant; refuse instead.
+	if *scheme != "" {
+		conflict := ""
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "study" || f.Name == "scenarios" {
+				conflict = "-" + f.Name
+			}
+		})
+		if conflict != "" {
+			log.Fatalf("-scheme runs a single simulation and cannot be combined with %s", conflict)
+		}
 	}
 
 	// SIGINT/SIGTERM cancel the context; every study threads it down to
@@ -121,6 +153,34 @@ func main() {
 	setup.Opts.TickSeconds = *tick
 	setup.Opts.Workers = *workers
 	setup.HorizonTicks = *horizon
+
+	// A single named scheme instead of a study: one run, full Result —
+	// and with -json the same versioned payload the tegserve API serves.
+	if *scheme != "" {
+		ctrl, err := setup.NewScheme(*scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.RunContext(ctx, setup.Sys, setup.Trace, ctrl, setup.Opts)
+		if err != nil {
+			fail(err)
+		}
+		meter.done()
+		if *jsonOut {
+			b, err := report.MarshalResult(res)
+			if err != nil {
+				log.Fatal(err)
+			}
+			b = append(b, '\n')
+			if _, err := os.Stdout.Write(b); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		fmt.Printf("%s over %.0f s: %.1f J delivered, %.1f J switch overhead, %d reconfigurations (%d toggles), ideal %.1f J\n",
+			res.Scheme, *duration, res.EnergyOutJ, res.OverheadJ, res.SwitchEvents, res.SwitchToggles, res.IdealEnergyJ)
+		return
+	}
 
 	var tab *report.Table
 	var trailer string

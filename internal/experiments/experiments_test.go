@@ -488,3 +488,36 @@ func TestMarginAblation(t *testing.T) {
 		t.Errorf("margin 2 J lost too much energy: %v vs %v", pts[2].EnergyOutJ, pts[0].EnergyOutJ)
 	}
 }
+
+// TestSchemeBuilderGuards pins the loud-failure contract of the
+// registry-backed builders: a Setup's horizon is always explicit, so a
+// non-positive one (e.g. an ablation sweeping over 0) must error, not
+// silently simulate the default horizon under the wrong label — and
+// NewDNORWith must never fall back to the default predictor.
+func TestSchemeBuilderGuards(t *testing.T) {
+	s, err := DefaultSetup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NewScheme("nope"); err == nil {
+		t.Error("unknown scheme built")
+	}
+	if c, err := s.NewScheme("dnor"); err != nil || c.Name() != "DNOR" {
+		t.Errorf("NewScheme(dnor): %v %v", c, err)
+	}
+	s.HorizonTicks = 0
+	if _, err := s.NewDNOR(); err == nil {
+		t.Error("horizon 0 DNOR built silently")
+	}
+	if _, err := HorizonAblation(s, []int{0}); err == nil {
+		t.Error("horizon-0 ablation point ran silently")
+	}
+	// INOR ignores the horizon, so it still builds.
+	if _, err := s.NewINOR(); err != nil {
+		t.Errorf("INOR with horizon 0: %v", err)
+	}
+	s.HorizonTicks = 4
+	if _, err := s.NewDNORWith(nil); err == nil {
+		t.Error("NewDNORWith(nil) built a controller")
+	}
+}

@@ -16,6 +16,9 @@ type ScenarioOptions struct {
 	// Cycles selects the workloads; nil runs every registered standard
 	// cycle (drive.Cycles()).
 	Cycles []drive.Cycle
+	// Schemes selects the reconfiguration schemes by registry name
+	// (sim.SchemeNames); nil runs all of them in registry order.
+	Schemes []string
 	// MaxDuration caps each cycle's simulated span in seconds; 0 runs
 	// every cycle to its full published length.
 	MaxDuration float64
@@ -43,14 +46,27 @@ type ScenarioSweepResult struct {
 	Cells [][]ScenarioCell
 }
 
-// scenarioSchemes builds one fresh controller per (cycle, scheme) job —
-// controllers carry mutable state and must not be shared across jobs.
-// Order follows the paper's presentation: static baseline first, then
-// INOR, DNOR, EHTR.
-func scenarioSchemes(s *Setup) []func() (core.Controller, error) {
-	return []func() (core.Controller, error){
-		s.NewBaseline, s.NewINOR, s.NewDNOR, s.NewEHTR,
+// scenarioSchemes builds one controller factory per selected scheme —
+// controllers carry mutable state and must not be shared across jobs,
+// so each (cycle, scheme) job calls its factory for a fresh instance.
+// A nil selection runs the whole registry, whose order follows the
+// paper's presentation: static baseline first, then INOR, DNOR, EHTR.
+func scenarioSchemes(s *Setup, names []string) ([]func() (core.Controller, error), error) {
+	if names == nil {
+		names = sim.SchemeNames()
 	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("experiments: scenario sweep with no schemes")
+	}
+	out := make([]func() (core.Controller, error), 0, len(names))
+	for _, name := range names {
+		if _, err := sim.SchemeByName(name); err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		name := name
+		out = append(out, func() (core.Controller, error) { return s.NewScheme(name) })
+	}
+	return out, nil
 }
 
 // ScenarioSweep runs every selected cycle under all four reconfiguration
@@ -77,7 +93,10 @@ func ScenarioSweepContext(ctx context.Context, s *Setup, opts ScenarioOptions) (
 	if opts.MaxDuration < 0 {
 		return nil, fmt.Errorf("experiments: negative scenario duration cap %g", opts.MaxDuration)
 	}
-	builders := scenarioSchemes(s)
+	builders, err := scenarioSchemes(s, opts.Schemes)
+	if err != nil {
+		return nil, err
+	}
 
 	runOpts := s.summaryOpts()
 	var jobs []sim.Job

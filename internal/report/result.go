@@ -1,0 +1,156 @@
+// Single-run Result JSON: a versioned, round-trippable encoding of
+// sim.Result shared by the serve API responses and `tegsim -json`.
+// Durations travel as integer nanoseconds and floats as Go's shortest
+// round-trip decimal form, so Unmarshal(Marshal(r)) reproduces r
+// bit-for-bit — the property the serve cache's byte-identical contract
+// stands on.
+
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"tegrecon/internal/sim"
+)
+
+// ResultVersion is the schema version stamped into every encoded
+// Result; UnmarshalResult rejects anything else.
+const ResultVersion = 1
+
+// resultEnvelope is the on-wire form: version outside, payload inside.
+type resultEnvelope struct {
+	Version int        `json:"version"`
+	Result  resultJSON `json:"result"`
+}
+
+type resultJSON struct {
+	Scheme        string     `json:"scheme"`
+	EnergyOutJ    float64    `json:"energy_out_j"`
+	OverheadJ     float64    `json:"overhead_j"`
+	SwitchEvents  int        `json:"switch_events"`
+	SwitchToggles int        `json:"switch_toggles"`
+	AvgRuntimeNS  int64      `json:"avg_runtime_ns"`
+	MaxRuntimeNS  int64      `json:"max_runtime_ns"`
+	IdealEnergyJ  float64    `json:"ideal_energy_j"`
+	AvgTEGEff     float64    `json:"avg_teg_eff"`
+	BatteryJ      float64    `json:"battery_j"`
+	Ticks         []tickJSON `json:"ticks,omitempty"`
+}
+
+type tickJSON struct {
+	Time      float64 `json:"time_s"`
+	GrossW    float64 `json:"gross_w"`
+	NetW      float64 `json:"net_w"`
+	IdealW    float64 `json:"ideal_w"`
+	Ratio     float64 `json:"ratio"`
+	Switched  bool    `json:"switched,omitempty"`
+	Toggles   int     `json:"toggles,omitempty"`
+	Overhead  float64 `json:"overhead_j,omitempty"`
+	RuntimeNS int64   `json:"runtime_ns,omitempty"`
+	Groups    int     `json:"groups"`
+	TEGEff    float64 `json:"teg_eff"`
+}
+
+func tickToJSON(t sim.Tick) tickJSON {
+	return tickJSON{
+		Time:      t.Time,
+		GrossW:    t.GrossW,
+		NetW:      t.NetW,
+		IdealW:    t.IdealW,
+		Ratio:     t.Ratio,
+		Switched:  t.Switched,
+		Toggles:   t.Toggles,
+		Overhead:  t.Overhead,
+		RuntimeNS: int64(t.Runtime),
+		Groups:    t.Groups,
+		TEGEff:    t.TEGEff,
+	}
+}
+
+func tickFromJSON(t tickJSON) sim.Tick {
+	return sim.Tick{
+		Time:     t.Time,
+		GrossW:   t.GrossW,
+		NetW:     t.NetW,
+		IdealW:   t.IdealW,
+		Ratio:    t.Ratio,
+		Switched: t.Switched,
+		Toggles:  t.Toggles,
+		Overhead: t.Overhead,
+		Runtime:  time.Duration(t.RuntimeNS),
+		Groups:   t.Groups,
+		TEGEff:   t.TEGEff,
+	}
+}
+
+// MarshalResult encodes a run result as compact versioned JSON. The
+// encoding is deterministic: the same Result always marshals to the
+// same bytes.
+func MarshalResult(r *sim.Result) ([]byte, error) {
+	if r == nil {
+		return nil, fmt.Errorf("report: nil result")
+	}
+	env := resultEnvelope{
+		Version: ResultVersion,
+		Result: resultJSON{
+			Scheme:        r.Scheme,
+			EnergyOutJ:    r.EnergyOutJ,
+			OverheadJ:     r.OverheadJ,
+			SwitchEvents:  r.SwitchEvents,
+			SwitchToggles: r.SwitchToggles,
+			AvgRuntimeNS:  int64(r.AvgRuntime),
+			MaxRuntimeNS:  int64(r.MaxRuntime),
+			IdealEnergyJ:  r.IdealEnergyJ,
+			AvgTEGEff:     r.AvgTEGEff,
+			BatteryJ:      r.BatteryJ,
+		},
+	}
+	if len(r.Ticks) > 0 {
+		env.Result.Ticks = make([]tickJSON, len(r.Ticks))
+		for i, t := range r.Ticks {
+			env.Result.Ticks[i] = tickToJSON(t)
+		}
+	}
+	return json.Marshal(env)
+}
+
+// UnmarshalResult decodes MarshalResult's output back into a Result,
+// rejecting unknown schema versions.
+func UnmarshalResult(b []byte) (*sim.Result, error) {
+	var env resultEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return nil, fmt.Errorf("report: decoding result: %w", err)
+	}
+	if env.Version != ResultVersion {
+		return nil, fmt.Errorf("report: result schema version %d, want %d", env.Version, ResultVersion)
+	}
+	j := env.Result
+	r := &sim.Result{
+		Scheme:        j.Scheme,
+		EnergyOutJ:    j.EnergyOutJ,
+		OverheadJ:     j.OverheadJ,
+		SwitchEvents:  j.SwitchEvents,
+		SwitchToggles: j.SwitchToggles,
+		AvgRuntime:    time.Duration(j.AvgRuntimeNS),
+		MaxRuntime:    time.Duration(j.MaxRuntimeNS),
+		IdealEnergyJ:  j.IdealEnergyJ,
+		AvgTEGEff:     j.AvgTEGEff,
+		BatteryJ:      j.BatteryJ,
+	}
+	if len(j.Ticks) > 0 {
+		r.Ticks = make([]sim.Tick, len(j.Ticks))
+		for i, t := range j.Ticks {
+			r.Ticks[i] = tickFromJSON(t)
+		}
+	}
+	return r, nil
+}
+
+// MarshalTick encodes one per-control-period record — the serve API's
+// SSE `tick` event payload, in the same field layout Ticks use inside
+// MarshalResult.
+func MarshalTick(t sim.Tick) ([]byte, error) {
+	return json.Marshal(tickToJSON(t))
+}

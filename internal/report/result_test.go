@@ -1,0 +1,105 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"tegrecon/internal/sim"
+)
+
+func sampleResult() *sim.Result {
+	return &sim.Result{
+		Scheme:        "DNOR",
+		EnergyOutJ:    1234.5678901234567,
+		OverheadJ:     0.1 + 0.2, // deliberately not exactly 0.3
+		SwitchEvents:  17,
+		SwitchToggles: 431,
+		AvgRuntime:    137 * time.Microsecond,
+		MaxRuntime:    2 * time.Millisecond,
+		IdealEnergyJ:  1500.25,
+		AvgTEGEff:     0.031415926535897934,
+		BatteryJ:      math.Nextafter(900, 901),
+		Ticks: []sim.Tick{
+			{Time: 0, GrossW: 1.5, NetW: 1.25, IdealW: 2, Ratio: 0.625, Switched: true,
+				Toggles: 40, Overhead: 0.125, Runtime: 90 * time.Microsecond, Groups: 10, TEGEff: 0.03},
+			{Time: 0.5, GrossW: 1.6, NetW: 1.6, IdealW: 2.1, Ratio: 1.6 / 2.1, Groups: 10, TEGEff: 0.031},
+		},
+	}
+}
+
+// TestResultRoundTrip proves the versioned JSON encoding reproduces a
+// Result bit-for-bit — including awkward floats that do not have short
+// decimal forms — and that the encoding itself is deterministic.
+func TestResultRoundTrip(t *testing.T) {
+	r := sampleResult()
+	b1, err := MarshalResult(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := MarshalResult(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("MarshalResult is not deterministic")
+	}
+	got, err := UnmarshalResult(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, r)
+	}
+	// And a no-ticks result round-trips with no ticks key at all.
+	r.Ticks = nil
+	b, err := MarshalResult(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(b, []byte(`"ticks"`)) {
+		t.Fatal("tick-free result encoded a ticks field")
+	}
+	got, err = UnmarshalResult(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatal("tick-free round trip mismatch")
+	}
+}
+
+func TestResultVersionAndErrors(t *testing.T) {
+	if _, err := MarshalResult(nil); err == nil {
+		t.Error("MarshalResult(nil) succeeded")
+	}
+	b, err := MarshalResult(sampleResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"version":1`)) {
+		t.Fatalf("payload does not carry version 1: %s", b)
+	}
+	bad := bytes.Replace(b, []byte(`"version":1`), []byte(`"version":99`), 1)
+	if _, err := UnmarshalResult(bad); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("future-version payload decoded: %v", err)
+	}
+	if _, err := UnmarshalResult([]byte("{")); err == nil {
+		t.Error("truncated payload decoded")
+	}
+}
+
+func TestMarshalTick(t *testing.T) {
+	b, err := MarshalTick(sim.Tick{Time: 1.5, GrossW: 2, Groups: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"time_s":1.5`, `"gross_w":2`, `"groups":10`} {
+		if !bytes.Contains(b, []byte(want)) {
+			t.Errorf("tick payload %s missing %s", b, want)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// cache is the content-addressed result store: completed response
+// payloads keyed by the canonical request hash (canonical.go), bounded
+// by an LRU over both entry count and resident bytes — tick-bearing
+// payloads can reach tens of MB each, so an entry bound alone would
+// let a handful of large results defeat the server's bounded-memory
+// design. Payloads are the exact bytes previously sent to a client, so
+// a hit is byte-identical to the original response by construction —
+// under DeterministicRuntime the physics is bit-reproducible, which
+// makes serving the stored bytes equivalent to recomputing them.
+type cache struct {
+	mu       sync.Mutex
+	max      int
+	maxBytes int64
+	bytes    int64
+	order    *list.List // front = most recently used
+	entries  map[string]*list.Element
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry struct {
+	key     string
+	payload []byte
+}
+
+func newCache(maxEntries int, maxBytes int64) *cache {
+	return &cache{
+		max:      maxEntries,
+		maxBytes: maxBytes,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element, maxEntries),
+	}
+}
+
+// get returns the stored payload and marks the entry most recently
+// used. Callers must treat the payload as immutable.
+func (c *cache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).payload, true
+}
+
+// peek is get without touching the hit/miss statistics or the LRU
+// order — the flight leader's internal race re-check, invisible to the
+// client-facing accounting.
+func (c *cache) peek(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*cacheEntry).payload, true
+}
+
+// put stores a payload, evicting from the LRU tail while either bound
+// (entries or bytes) is exceeded. A payload larger than the whole byte
+// budget is not cached at all — storing it would just flush everything
+// else for an entry the next eviction removes anyway.
+func (c *cache) put(key string, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.max <= 0 || int64(len(payload)) > c.maxBytes {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(payload)) - int64(len(e.payload))
+		e.payload = payload
+		c.order.MoveToFront(el)
+	} else {
+		c.entries[key] = c.order.PushFront(&cacheEntry{key: key, payload: payload})
+		c.bytes += int64(len(payload))
+	}
+	for c.order.Len() > c.max || c.bytes > c.maxBytes {
+		tail := c.order.Back()
+		e := tail.Value.(*cacheEntry)
+		c.order.Remove(tail)
+		delete(c.entries, e.key)
+		c.bytes -= int64(len(e.payload))
+	}
+}
+
+// len reports the current entry count.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// size reports the resident payload bytes.
+func (c *cache) size() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// flightGroup coalesces concurrent cache misses for the same key into
+// one computation: the first caller becomes the leader and runs fn,
+// every concurrent duplicate blocks until the leader finishes and then
+// shares its payload (or error). Combined with the cache this gives
+// the "N clients ask for the same sweep, the sim runs once" property.
+type flightGroup struct {
+	mu       sync.Mutex
+	inflight map[string]*flight
+}
+
+type flight struct {
+	done    chan struct{}
+	payload []byte
+	err     error
+}
+
+// do runs fn for the key unless an identical computation is already in
+// flight, in which case it waits for and shares that one's outcome —
+// or gives up early when the follower's own ctx dies (a disconnected
+// client must not stay pinned for the leader's whole computation; the
+// leader itself runs fn to completion regardless, since others may be
+// waiting). The third return reports whether this caller was a
+// follower.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() ([]byte, error)) ([]byte, error, bool) {
+	g.mu.Lock()
+	if g.inflight == nil {
+		g.inflight = make(map[string]*flight)
+	}
+	if f, ok := g.inflight[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.payload, f.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.inflight[key] = f
+	g.mu.Unlock()
+
+	f.payload, f.err = fn()
+	g.mu.Lock()
+	delete(g.inflight, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.payload, f.err, false
+}

@@ -1,0 +1,394 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(2, 1<<20)
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B"))
+	if _, ok := c.get("a"); !ok { // touch a → b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", []byte("C")) // evicts b
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction despite being least recently used")
+	}
+	for key, want := range map[string]string{"a": "A", "c": "C"} {
+		got, ok := c.get(key)
+		if !ok || !bytes.Equal(got, []byte(want)) {
+			t.Fatalf("get(%s) = %q, %v", key, got, ok)
+		}
+	}
+	// Re-putting an existing key updates in place, no eviction.
+	c.put("a", []byte("A2"))
+	if got, _ := c.get("a"); !bytes.Equal(got, []byte("A2")) {
+		t.Fatalf("update in place failed: %q", got)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len after update = %d", c.len())
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	c := newCache(4, 1<<20)
+	c.get("nope")
+	c.put("k", []byte("v"))
+	c.get("k")
+	c.get("k")
+	if h, m := c.hits.Load(), c.misses.Load(); h != 2 || m != 1 {
+		t.Fatalf("hits=%d misses=%d, want 2/1", h, m)
+	}
+}
+
+// TestCacheByteBudget proves the LRU is bounded by resident bytes as
+// well as entries: big payloads evict from the tail, and a payload
+// over the whole budget is never stored.
+func TestCacheByteBudget(t *testing.T) {
+	c := newCache(100, 10) // 100 entries but only 10 bytes
+	c.put("a", []byte("aaaa"))
+	c.put("b", []byte("bbbb"))
+	if c.size() != 8 {
+		t.Fatalf("size = %d, want 8", c.size())
+	}
+	c.put("c", []byte("cccc")) // 12 bytes resident → evict a
+	if _, ok := c.get("a"); ok {
+		t.Fatal("a survived the byte budget")
+	}
+	if c.size() != 8 || c.len() != 2 {
+		t.Fatalf("size=%d len=%d after eviction", c.size(), c.len())
+	}
+	// Updating an entry in place adjusts the byte accounting.
+	c.put("b", []byte("bb"))
+	if c.size() != 6 {
+		t.Fatalf("size after shrink = %d, want 6", c.size())
+	}
+	// A payload larger than the entire budget is refused outright.
+	c.put("huge", bytes.Repeat([]byte("x"), 11))
+	if _, ok := c.get("huge"); ok {
+		t.Fatal("over-budget payload was cached")
+	}
+	if c.len() != 2 {
+		t.Fatalf("over-budget put disturbed the cache: len=%d", c.len())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newCache(0, 1<<20)
+	c.put("k", []byte("v"))
+	if _, ok := c.get("k"); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+}
+
+// TestFlightGroupCoalesces proves N concurrent misses on one key run
+// the computation once and share the payload.
+func TestFlightGroupCoalesces(t *testing.T) {
+	var g flightGroup
+	var computations atomic.Int64
+	gate := make(chan struct{})
+	const n = 16
+	var wg sync.WaitGroup
+	payloads := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, err, _ := g.do(context.Background(), "key", func() ([]byte, error) {
+				<-gate // hold the flight open until all callers joined
+				computations.Add(1)
+				return []byte("payload"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			payloads[i] = b
+		}(i)
+	}
+	// Let callers pile onto the in-flight computation, then release.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if got := computations.Load(); got != 1 {
+		t.Fatalf("computations = %d, want 1", got)
+	}
+	for i, b := range payloads {
+		if !bytes.Equal(b, []byte("payload")) {
+			t.Fatalf("caller %d got %q", i, b)
+		}
+	}
+	// Errors propagate to all callers and are not sticky.
+	wantErr := errors.New("boom")
+	_, err, _ := g.do(context.Background(), "key", func() ([]byte, error) { return nil, wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+	b, err, _ := g.do(context.Background(), "key", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || !bytes.Equal(b, []byte("ok")) {
+		t.Fatalf("flight after error: %q, %v", b, err)
+	}
+}
+
+// TestFlightFollowerContext: a follower whose own request dies must
+// unblock immediately with its context error, while the leader's
+// computation keeps running for the others.
+func TestFlightFollowerContext(t *testing.T) {
+	var g flightGroup
+	gate := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		g.do(context.Background(), "key", func() ([]byte, error) {
+			<-gate
+			return []byte("payload"), nil
+		})
+	}()
+	// Wait until the leader's flight is registered.
+	for {
+		g.mu.Lock()
+		_, inflight := g.inflight["key"]
+		g.mu.Unlock()
+		if inflight {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err, shared := g.do(ctx, "key", func() ([]byte, error) {
+		t.Error("follower ran the computation")
+		return nil, nil
+	})
+	if !shared || !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned follower: shared=%v err=%v", shared, err)
+	}
+	close(gate)
+	<-leaderDone
+}
+
+func TestQueueBounds(t *testing.T) {
+	q := newQueue(1, 1)
+	if err := q.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if q.active() != 1 {
+		t.Fatalf("active = %d", q.active())
+	}
+	// One waiter is admitted and blocks...
+	waited := make(chan error, 1)
+	go func() {
+		waited <- q.acquire(context.Background())
+	}()
+	// ...wait until it is actually counted, then the next is shed.
+	deadline := time.Now().Add(2 * time.Second)
+	for q.depth() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := q.acquire(context.Background()); !errors.Is(err, errQueueFull) {
+		t.Fatalf("over-capacity acquire: %v, want errQueueFull", err)
+	}
+	q.release()
+	if err := <-waited; err != nil {
+		t.Fatal(err)
+	}
+	q.release()
+
+	// A canceled context aborts a blocked acquire.
+	if err := q.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := q.acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled acquire: %v", err)
+	}
+	q.release()
+}
+
+func TestCanonicalKeys(t *testing.T) {
+	s := New(Config{})
+	base := RunRequest{Cycle: "wltc", Scheme: "dnor", DurationS: 10}
+	p1, herr := s.normalizeRun(base)
+	if herr != nil {
+		t.Fatal(herr)
+	}
+	// Same request, different surface spelling: scheme case and an
+	// explicit full-length duration normalize away.
+	alt := RunRequest{Cycle: "WLTC", Scheme: "DNOR", DurationS: 10}
+	p2, herr := s.normalizeRun(alt)
+	if herr != nil {
+		t.Fatal(herr)
+	}
+	if runKey(p1) != runKey(p2) {
+		t.Fatal("equivalent requests hash differently")
+	}
+	full := RunRequest{Cycle: "wltc", Scheme: "dnor"}
+	overlong := RunRequest{Cycle: "wltc", Scheme: "dnor", DurationS: 1e6}
+	pf, _ := s.normalizeRun(full)
+	po, _ := s.normalizeRun(overlong)
+	if runKey(pf) != runKey(po) {
+		t.Fatal("full-cycle and past-the-end durations hash differently")
+	}
+	// Every physically meaningful field changes the key.
+	seed := int64(8)
+	noise := 0.2
+	det := false
+	variants := []RunRequest{
+		{Cycle: "nedc", Scheme: "dnor", DurationS: 10},
+		{Cycle: "wltc", Scheme: "inor", DurationS: 10},
+		{Cycle: "wltc", Scheme: "dnor", DurationS: 11},
+		{Cycle: "wltc", Scheme: "dnor", DurationS: 10, TickS: 1},
+		{Cycle: "wltc", Scheme: "dnor", DurationS: 10, Seed: &seed},
+		{Cycle: "wltc", Scheme: "dnor", DurationS: 10, SensorNoiseC: &noise},
+		{Cycle: "wltc", Scheme: "dnor", DurationS: 10, Modules: 50},
+		{Cycle: "wltc", Scheme: "dnor", DurationS: 10, HorizonTicks: 8},
+		{Cycle: "wltc", Scheme: "dnor", DurationS: 10, Battery: true},
+		{Cycle: "wltc", Scheme: "dnor", DurationS: 10, DeterministicRuntime: &det},
+		{Cycle: "wltc", Scheme: "dnor", DurationS: 10, Ticks: true},
+	}
+	seen := map[string]int{runKey(p1): -1}
+	for i, req := range variants {
+		p, herr := s.normalizeRun(req)
+		if herr != nil {
+			t.Fatalf("variant %d: %v", i, herr)
+		}
+		k := runKey(p)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variant %d collides with %d", i, prev)
+		}
+		seen[k] = i
+	}
+
+	// Sweep keys: order of cycles/schemes is part of the identity.
+	sw1, herr := s.normalizeSweep(SweepRequest{Cycles: []string{"nedc", "wltc"}, Schemes: []string{"inor", "dnor"}, MaxDurationS: 10})
+	if herr != nil {
+		t.Fatal(herr)
+	}
+	sw2, _ := s.normalizeSweep(SweepRequest{Cycles: []string{"wltc", "nedc"}, Schemes: []string{"inor", "dnor"}, MaxDurationS: 10})
+	if sweepKey(sw1) == sweepKey(sw2) {
+		t.Fatal("cycle order did not change the sweep key")
+	}
+	sw3, _ := s.normalizeSweep(SweepRequest{Cycles: []string{"nedc", "wltc"}, Schemes: []string{"INOR", "DNOR"}, MaxDurationS: 10})
+	if sweepKey(sw1) != sweepKey(sw3) {
+		t.Fatal("scheme name case changed the sweep key")
+	}
+	// A cap past every schedule end is physically the same sweep as no
+	// cap; a cap between two cycle lengths is not.
+	swFull, _ := s.normalizeSweep(SweepRequest{Cycles: []string{"nedc", "wltc"}, Schemes: []string{"inor"}})
+	swHuge, _ := s.normalizeSweep(SweepRequest{Cycles: []string{"nedc", "wltc"}, Schemes: []string{"inor"}, MaxDurationS: 1e6})
+	if sweepKey(swFull) != sweepKey(swHuge) {
+		t.Fatal("past-the-end sweep cap hashed differently from no cap")
+	}
+	swMid, _ := s.normalizeSweep(SweepRequest{Cycles: []string{"nedc", "wltc"}, Schemes: []string{"inor"}, MaxDurationS: 1500})
+	if sweepKey(swMid) == sweepKey(swFull) {
+		t.Fatal("a cap that truncates only the wltc did not change the key")
+	}
+}
+
+func TestNormalizeRejects(t *testing.T) {
+	s := New(Config{MaxModules: 100, MaxTicksPerJob: 1000})
+	cases := []RunRequest{
+		{},                              // no cycle
+		{Cycle: "wltc"},                 // no scheme
+		{Cycle: "nope", Scheme: "dnor"}, // unknown cycle
+		{Cycle: "wltc", Scheme: "nope"}, // unknown scheme
+		{Cycle: "wltc", Scheme: "dnor", DurationS: -1},
+		{Cycle: "wltc", Scheme: "dnor", TickS: -0.5},
+		{Cycle: "wltc", Scheme: "dnor", Modules: 101},
+		{Cycle: "wltc", Scheme: "dnor", HorizonTicks: -1},
+		{Cycle: "wltc", Scheme: "dnor"},                              // full 1800 s / 0.5 s = 3601 ticks > 1000
+		{Cycle: "wltc", Scheme: "dnor", DurationS: 0.1},              // shorter than one control period
+		{Cycle: "wltc", Scheme: "dnor", DurationS: 10, TickS: 1e308}, // would overflow energy accounting
+	}
+	for i, req := range cases {
+		if _, herr := s.normalizeRun(req); herr == nil {
+			t.Errorf("case %d (%+v) normalized", i, req)
+		} else if herr.status != 400 {
+			t.Errorf("case %d status = %d", i, herr.status)
+		}
+	}
+	neg := -0.1
+	if _, herr := s.normalizeSweep(SweepRequest{SensorNoiseC: &neg}); herr == nil {
+		t.Error("negative noise sweep normalized")
+	}
+	if _, herr := s.normalizeSweep(SweepRequest{Cycles: []string{"nope"}}); herr == nil {
+		t.Error("unknown sweep cycle normalized")
+	}
+	if _, herr := s.normalizeSweep(SweepRequest{Schemes: []string{"nope"}}); herr == nil {
+		t.Error("unknown sweep scheme normalized")
+	}
+	if _, herr := s.normalizeSweep(SweepRequest{Cycles: []string{"delivery"}, MaxDurationS: 0.2}); herr == nil {
+		t.Error("sub-period sweep cap normalized")
+	}
+	if _, herr := s.normalizeSweep(SweepRequest{}); herr == nil {
+		t.Error("full default sweep fit under a 1000-tick budget")
+	}
+}
+
+func TestSSERoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	// Encode directly against the buffer (flusher-free path is only in
+	// newEventWriter; the writer itself just needs io.Writer + flush).
+	ew := &eventWriter{w: &buf, fl: nopFlusher{}}
+	if err := ew.event("tick", []byte(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ew.event("summary", []byte("line1\nline2")); err != nil {
+		t.Fatal(err)
+	}
+	var got []Event
+	if err := DecodeEvents(&buf, func(ev Event) error {
+		got = append(got, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "tick" || string(got[0].Data) != `{"a":1}` {
+		t.Fatalf("decoded %+v", got)
+	}
+	if got[1].Name != "summary" || string(got[1].Data) != "line1\nline2" {
+		t.Fatalf("multi-line event decoded as %q", got[1].Data)
+	}
+
+	// ErrStopDecoding ends the loop cleanly.
+	buf.Reset()
+	ew.event("tick", []byte("1"))
+	ew.event("tick", []byte("2"))
+	n := 0
+	if err := DecodeEvents(&buf, func(Event) error { n++; return ErrStopDecoding }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("decoded %d events after stop", n)
+	}
+}
+
+type nopFlusher struct{}
+
+func (nopFlusher) Flush() {}
+
+func ExampleDecodeEvents() {
+	stream := "event: tick\ndata: {\"t\":0}\n\nevent: summary\ndata: done\n\n"
+	DecodeEvents(strings.NewReader(stream), func(ev Event) error {
+		fmt.Printf("%s: %s\n", ev.Name, ev.Data)
+		return nil
+	})
+	// Output:
+	// tick: {"t":0}
+	// summary: done
+}

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestEndToEnd is the PR's acceptance test, driven over a real TCP
+// listener through Server.Serve (the exact path cmd/tegserve runs):
+//
+//  1. the same sweep submitted twice — the second response must be a
+//     cache hit carrying byte-identical payload;
+//  2. the server shut down gracefully mid-SSE-stream — the stream must
+//     terminate and Serve return a clean drain;
+//  3. no goroutines may outlive the server (run under -race in CI).
+func TestEndToEnd(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	s := New(Config{MaxConcurrent: 2, MaxQueued: 4})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ctx, l, 10*time.Second) }()
+	base := "http://" + l.Addr().String()
+
+	// 1. Same sweep twice: second is a byte-identical cache hit.
+	sweep := `{"cycles":["delivery","nedc"],"schemes":["baseline","inor"],"max_duration_s":6,"modules":20}`
+	post := func() (*http.Response, []byte) {
+		resp, err := http.Post(base+"/v1/sweeps", "application/json", strings.NewReader(sweep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, b
+	}
+	resp1, body1 := post()
+	resp2, body2 := post()
+	if resp1.StatusCode != 200 || resp2.StatusCode != 200 {
+		t.Fatalf("sweep statuses %d/%d: %s", resp1.StatusCode, resp2.StatusCode, body1)
+	}
+	if got := resp1.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("first sweep X-Cache = %q, want miss", got)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("second sweep X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("cache hit is not byte-identical to the computed response")
+	}
+	if k1, k2 := resp1.Header.Get("X-Cache-Key"), resp2.Header.Get("X-Cache-Key"); k1 == "" || k1 != k2 {
+		t.Fatalf("cache keys %q / %q", k1, k2)
+	}
+
+	// 2. Open a long SSE stream, read until the first tick, then pull
+	// the plug: SIGTERM-equivalent cancel → Drain → Shutdown. The
+	// stream's run context aborts within one control period, the
+	// stream terminates, and Serve drains cleanly.
+	streamResp, err := http.Post(base+"/v1/runs", "application/json",
+		strings.NewReader(`{"cycle":"wltc","scheme":"inor","modules":20,"stream":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer streamResp.Body.Close()
+	sawTick := make(chan struct{})
+	streamEnded := make(chan error, 1)
+	var tail []string
+	go func() {
+		first := true
+		streamEnded <- DecodeEvents(streamResp.Body, func(ev Event) error {
+			if ev.Name == "tick" && first {
+				first = false
+				close(sawTick)
+			}
+			tail = append(tail, ev.Name)
+			return nil
+		})
+	}()
+	select {
+	case <-sawTick:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream produced no tick")
+	}
+	cancel() // the tegserve signal path
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("graceful drain failed: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("Serve did not return after cancel — drain hung on the live stream")
+	}
+	select {
+	case err := <-streamEnded:
+		// The decode loop must have ended (EOF or connection reset);
+		// either way the stream terminated rather than hanging.
+		_ = err
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE stream still open after server drained")
+	}
+	if len(tail) > 0 && tail[len(tail)-1] == "error" {
+		// Expected shape: the aborted run reports the cancellation.
+	} else if len(tail) > 0 && tail[len(tail)-1] == "summary" {
+		t.Error("mid-drain stream claims a completed summary")
+	}
+	if !s.Draining() {
+		t.Error("server not marked draining after Serve returned")
+	}
+
+	// 3. No goroutine leaks: everything the server and its jobs
+	// spawned must be gone.
+	waitForGoroutines(t, before)
+}
+
+func waitForGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		// Allow slack for runtime/test harness goroutines that come and
+		// go; a leaked-per-job pattern would overshoot this by far.
+		if now <= before+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines: %d before, %d after\n%s", before, now, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestServeListenerError proves Serve surfaces a listener failure
+// instead of hanging.
+func TestServeListenerError(t *testing.T) {
+	s := New(Config{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close() // Serve's Accept loop fails immediately
+	if err := s.Serve(context.Background(), l, time.Second); err == nil {
+		t.Fatal("Serve on a closed listener returned nil")
+	}
+}
+
+func BenchmarkCachedRunRequest(b *testing.B) {
+	s := New(Config{})
+	ctx, cancelCtx := s.jobContext(context.Background())
+	defer cancelCtx()
+	p, herr := s.normalizeRun(RunRequest{Cycle: "delivery", Scheme: "inor", DurationS: 6, Modules: 20})
+	if herr != nil {
+		b.Fatal(herr)
+	}
+	key := runKey(p)
+	payload, err := s.runPayload(ctx, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.cache.put(key, payload)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := runKey(p)
+		if _, ok := s.cache.get(k); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

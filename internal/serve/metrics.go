@@ -1,0 +1,90 @@
+// Observability: /healthz for load-balancer liveness (flips to 503
+// while draining so traffic moves away before the listener closes) and
+// /metrics in the Prometheus text exposition format — queue depth,
+// cache hit rate, active sessions and tick throughput, the four
+// numbers that say whether the service is keeping up.
+
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the server's monotonic counters. Gauges (queue depth,
+// active sessions, cache entries) are read live from their owners.
+type metrics struct {
+	start        time.Time
+	ticks        atomic.Int64 // control periods simulated, all jobs
+	computations atomic.Int64 // jobs actually executed (cache/coalesce misses)
+	runs         atomic.Int64 // POST /v1/runs accepted
+	sweeps       atomic.Int64 // POST /v1/sweeps accepted
+	coalesced    atomic.Int64 // requests served by waiting on an identical in-flight job
+	streams      atomic.Int64 // live SSE streams (gauge)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.Draining() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":          status,
+		"uptime_s":        time.Since(s.met.start).Seconds(),
+		"active_sessions": s.q.active(),
+		"queue_depth":     s.q.depth(),
+		"cache_entries":   s.cache.len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	uptime := time.Since(s.met.start).Seconds()
+	hits, misses := s.cache.hits.Load(), s.cache.misses.Load()
+	hitRatio := 0.0
+	if hits+misses > 0 {
+		hitRatio = float64(hits) / float64(hits+misses)
+	}
+	ticks := s.met.ticks.Load()
+	ticksPerSec := 0.0
+	if uptime > 0 {
+		ticksPerSec = float64(ticks) / uptime
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	type row struct {
+		name, help, typ string
+		value           any
+	}
+	rows := []row{
+		{"tegserve_uptime_seconds", "Seconds since the server started.", "gauge", uptime},
+		{"tegserve_queue_depth", "Jobs waiting for an execution slot.", "gauge", s.q.depth()},
+		{"tegserve_queue_capacity", "Maximum jobs allowed to wait for a slot (queue_depth's bound).", "gauge", s.cfg.MaxQueued},
+		{"tegserve_max_concurrent", "Maximum simultaneously executing jobs.", "gauge", cap(s.q.slots)},
+		{"tegserve_active_sessions", "Jobs holding execution slots right now.", "gauge", s.q.active()},
+		{"tegserve_active_streams", "Live SSE run streams.", "gauge", s.met.streams.Load()},
+		{"tegserve_runs_total", "Run requests accepted.", "counter", s.met.runs.Load()},
+		{"tegserve_sweeps_total", "Sweep requests accepted.", "counter", s.met.sweeps.Load()},
+		{"tegserve_computations_total", "Jobs actually simulated (not served from cache or coalesced).", "counter", s.met.computations.Load()},
+		{"tegserve_coalesced_total", "Requests that shared an identical in-flight computation.", "counter", s.met.coalesced.Load()},
+		{"tegserve_cache_hits_total", "Result cache hits.", "counter", hits},
+		{"tegserve_cache_misses_total", "Result cache misses.", "counter", misses},
+		{"tegserve_cache_entries", "Results currently cached.", "gauge", s.cache.len()},
+		{"tegserve_cache_bytes", "Resident bytes of cached result payloads.", "gauge", s.cache.size()},
+		{"tegserve_cache_hit_ratio", "Lifetime cache hit ratio.", "gauge", hitRatio},
+		{"tegserve_ticks_total", "Control periods simulated across all jobs.", "counter", ticks},
+		{"tegserve_ticks_per_second", "Lifetime mean simulated control periods per wall-clock second.", "gauge", ticksPerSec},
+	}
+	for _, m := range rows {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
+		switch v := m.value.(type) {
+		case float64:
+			fmt.Fprintf(w, "%s %g\n", m.name, v)
+		default:
+			fmt.Fprintf(w, "%s %d\n", m.name, v)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errQueueFull reports a job rejected at admission because the bounded
+// wait queue is already at capacity — the server's load-shedding
+// signal, surfaced to clients as 503 + Retry-After.
+var errQueueFull = errors.New("serve: job queue full")
+
+// queue is the bounded admission gate in front of the simulation
+// engine: at most `slots` jobs execute at once, at most maxWait more
+// may block waiting for a slot, and anything beyond that is rejected
+// immediately. Rejecting at admission instead of queueing unboundedly
+// is what keeps a traffic spike from turning into an OOM — the classic
+// serving discipline the ROADMAP's scale story asks for.
+type queue struct {
+	slots   chan struct{}
+	waiting atomic.Int64
+	maxWait int64
+}
+
+func newQueue(workers, maxQueued int) *queue {
+	return &queue{slots: make(chan struct{}, workers), maxWait: int64(maxQueued)}
+}
+
+// acquire claims an execution slot, blocking while the pool is full.
+// It fails fast with errQueueFull when maxWait jobs are already
+// blocked, and with ctx.Err() when the caller gives up first.
+func (q *queue) acquire(ctx context.Context) error {
+	// Fast path: free slot, no waiting.
+	select {
+	case q.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if q.waiting.Add(1) > q.maxWait {
+		q.waiting.Add(-1)
+		return errQueueFull
+	}
+	defer q.waiting.Add(-1)
+	select {
+	case q.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot claimed by acquire.
+func (q *queue) release() { <-q.slots }
+
+// depth reports how many jobs are blocked waiting for a slot.
+func (q *queue) depth() int64 { return q.waiting.Load() }
+
+// active reports how many jobs hold execution slots right now.
+func (q *queue) active() int { return len(q.slots) }

@@ -1,0 +1,569 @@
+// Package serve turns the simulator into a long-lived service:
+// simulation-as-a-service over HTTP. It multiplexes many concurrent
+// runs and sweeps onto a bounded job queue layered over sim.Session /
+// sim.Batch, streams per-control-period ticks to clients as
+// Server-Sent Events wired straight into Options.OnTick, and never
+// recomputes a deterministic run it has already priced: a canonical
+// encoding of each request is hashed into a content-addressed LRU of
+// completed result payloads, so a repeat request is answered from
+// memory with the byte-identical response.
+//
+// API (v1):
+//
+//	GET  /v1/cycles   registered standard drive cycles
+//	GET  /v1/schemes  registered reconfiguration schemes
+//	POST /v1/runs     one scheme over one cycle (JSON result, or SSE
+//	                  tick stream with "stream": true)
+//	POST /v1/sweeps   cycle × scheme matrix on the batch engine
+//	GET  /healthz     liveness (503 while draining)
+//	GET  /metrics     Prometheus text: queue depth, cache hit rate,
+//	                  active sessions, ticks/sec
+//
+// Shutdown reuses the simulator's context plumbing end to end: Drain
+// cancels every in-flight job's context, each aborts within one
+// control period (streams close with an `error` event), and Serve's
+// http.Server.Shutdown then completes with nothing left running.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"tegrecon/internal/drive"
+	"tegrecon/internal/experiments"
+	"tegrecon/internal/report"
+	"tegrecon/internal/sim"
+)
+
+// Config bounds the server's resources. Zero values pick sane
+// defaults, so serve.New(serve.Config{}) is a working server.
+type Config struct {
+	// MaxConcurrent bounds simultaneously executing jobs (0 → NumCPU).
+	MaxConcurrent int
+	// MaxQueued bounds jobs waiting for a slot before the server sheds
+	// load with 503s (0 → 64; negative admits no waiters at all —
+	// every job beyond the executing slots is shed immediately).
+	MaxQueued int
+	// Workers bounds the sim.Batch pool inside one sweep job
+	// (0 → NumCPU).
+	Workers int
+	// CacheEntries bounds the content-addressed result cache
+	// (0 → 256, negative disables caching).
+	CacheEntries int
+	// CacheBytes bounds the cache's resident payload bytes — the guard
+	// against a few huge tick-bearing results defeating the entry
+	// bound (0 → 256 MiB; payloads over the budget are never cached).
+	CacheBytes int64
+	// MaxTicksPerJob rejects requests that would simulate more control
+	// periods than this, summed over a sweep's cells (0 → 200000).
+	MaxTicksPerJob int
+	// MaxModules rejects requests for larger arrays (0 → 500).
+	MaxModules int
+	// DrainGrace holds the listener open for this long after Drain
+	// before Shutdown closes it, so load balancers probing /healthz
+	// over fresh connections observe the 503 and rotate the instance
+	// out instead of seeing connection-refused (0 → no grace window;
+	// only the Serve path uses it).
+	DrainGrace time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.NumCPU()
+	}
+	if c.MaxQueued == 0 {
+		c.MaxQueued = 64
+	}
+	if c.MaxQueued < 0 {
+		c.MaxQueued = 0
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.CacheEntries < 0 {
+		c.CacheEntries = 0
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.MaxTicksPerJob <= 0 {
+		c.MaxTicksPerJob = 200000
+	}
+	if c.MaxModules <= 0 {
+		c.MaxModules = 500
+	}
+	return c
+}
+
+// Server is the simulation service. Create one with New, mount
+// Handler on any http.Server, or let Serve own the listener lifecycle.
+type Server struct {
+	cfg     Config
+	q       *queue
+	cache   *cache
+	flights flightGroup
+	met     metrics
+	mux     *http.ServeMux
+	drainCh chan struct{}
+}
+
+// New builds a server with the given bounds.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		q:       newQueue(cfg.MaxConcurrent, cfg.MaxQueued),
+		cache:   newCache(cfg.CacheEntries, cfg.CacheBytes),
+		met:     metrics{start: time.Now()},
+		mux:     http.NewServeMux(),
+		drainCh: make(chan struct{}),
+	}
+	s.mux.HandleFunc("GET /v1/cycles", s.handleCycles)
+	s.mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
+	s.mux.HandleFunc("POST /v1/runs", s.handleRun)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain begins graceful shutdown: new jobs are refused and every
+// in-flight job's context is canceled, aborting each simulation within
+// one control period. Safe to call more than once.
+func (s *Server) Drain() {
+	select {
+	case <-s.drainCh:
+	default:
+		close(s.drainCh)
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool {
+	select {
+	case <-s.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// Serve runs the service on the listener until ctx is canceled, then
+// drains: jobs abort within a control period, streams close, and —
+// after Config.DrainGrace has given health probes a chance to see the
+// 503 — the HTTP server shuts down gracefully within drainTimeout. It
+// returns nil on a clean drain.
+func (s *Server) Serve(ctx context.Context, l net.Listener, drainTimeout time.Duration) error {
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err // listener failure before shutdown was requested
+	case <-ctx.Done():
+	}
+	s.Drain()
+	if s.cfg.DrainGrace > 0 {
+		// New jobs are already refused and /healthz answers 503; keep
+		// the listener accepting for the grace window so the 503 is
+		// reachable over fresh probe connections.
+		timer := time.NewTimer(s.cfg.DrainGrace)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case err := <-errc:
+			return err // listener died mid-grace
+		}
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	serr := hs.Shutdown(sctx)
+	<-errc // reap the Serve goroutine (http.ErrServerClosed)
+	return serr
+}
+
+// jobContext derives a job's context from the request's, additionally
+// canceled by Drain — the bridge from SIGTERM to every simulation's
+// per-tick abort check.
+func (s *Server) jobContext(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	go func() {
+		select {
+		case <-s.drainCh:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	return ctx, cancel
+}
+
+// detachedJobContext is jobContext off the server's own lifetime
+// instead of a single request's: cache-filling computations run under
+// it so that a leader's client disconnecting cannot poison the
+// coalesced followers waiting on the same result.
+func (s *Server) detachedJobContext() (context.Context, context.CancelFunc) {
+	return s.jobContext(context.Background())
+}
+
+// --- response helpers ---
+
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func writeHTTPError(w http.ResponseWriter, err *httpError) {
+	writeJSONError(w, err.status, err.msg)
+}
+
+// writeJobError maps an execution failure onto a status: shed load and
+// shutdown aborts are retryable 503s, anything else is a 500.
+func (s *Server) writeJobError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		writeJSONError(w, http.StatusServiceUnavailable, "job queue full, retry later")
+	case errors.Is(err, context.Canceled) && s.Draining():
+		writeJSONError(w, http.StatusServiceUnavailable, "server draining")
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func writePayload(w http.ResponseWriter, cacheState string, payload []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", cacheState)
+	w.Header().Set("Content-Length", strconv.Itoa(len(payload)+1))
+	w.Write(payload)
+	w.Write([]byte{'\n'})
+}
+
+// --- registry endpoints ---
+
+func (s *Server) handleCycles(w http.ResponseWriter, r *http.Request) {
+	type cycleInfo struct {
+		Name         string  `json:"name"`
+		Description  string  `json:"description"`
+		DurationS    float64 `json:"duration_s"`
+		SamplePoints int     `json:"sample_points"`
+		PeakKPH      float64 `json:"peak_kph"`
+	}
+	var out struct {
+		Cycles []cycleInfo `json:"cycles"`
+	}
+	for _, c := range drive.Cycles() {
+		out.Cycles = append(out.Cycles, cycleInfo{c.Name, c.Description, c.DurationS, c.SamplePoints, c.PeakKPH})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
+	type schemeInfo struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+	}
+	var out struct {
+		Schemes []schemeInfo `json:"schemes"`
+	}
+	for _, sch := range sim.Schemes() {
+		out.Schemes = append(out.Schemes, schemeInfo{sch.Name, sch.Description})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// --- run execution ---
+
+// executeRun replays the cycle through the Session engine (via
+// sim.RunContext) with the service's observers wired into
+// Options.OnTick.
+func (s *Server) executeRun(ctx context.Context, p runParams, onTick func(sim.Tick)) (*sim.Result, error) {
+	cfg := drive.DefaultSynthConfig()
+	cfg.Duration = p.durationS
+	tr, err := p.cycle.Synthesize(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sys := sim.DefaultSystem()
+	sys.Modules = p.modules
+	ctrl, err := p.scheme.New(sys, sim.SchemeConfig{HorizonTicks: p.horizon, TickSeconds: p.tickS})
+	if err != nil {
+		return nil, err
+	}
+	opts := sim.DefaultOptions()
+	opts.TickSeconds = p.tickS
+	opts.SensorNoiseC = p.noiseC
+	opts.Seed = p.seed
+	opts.Battery = p.battery
+	opts.DeterministicRuntime = p.detRuntime
+	opts.KeepTicks = p.keepTicks
+	opts.OnTick = func(t sim.Tick) {
+		s.met.ticks.Add(1)
+		if onTick != nil {
+			onTick(t)
+		}
+	}
+	return sim.RunContext(ctx, sys, tr, ctrl, opts)
+}
+
+// runPayload claims a queue slot, executes the run and encodes the
+// versioned result payload.
+func (s *Server) runPayload(ctx context.Context, p runParams) ([]byte, error) {
+	if err := s.q.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.q.release()
+	s.met.computations.Add(1)
+	res, err := s.executeRun(ctx, p, nil)
+	if err != nil {
+		return nil, err
+	}
+	return report.MarshalResult(res)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if herr := decodeJSON(w, r, &req); herr != nil {
+		writeHTTPError(w, herr)
+		return
+	}
+	// The Accept header is the second way to ask for a stream; fold it
+	// into the body flag before normalization so both spellings get
+	// identical treatment (in particular, keepTicks is forced off for
+	// streams — the ticks already travel as events). Compound values
+	// like "text/event-stream, */*" or appended parameters count too.
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		req.Stream = true
+	}
+	p, herr := s.normalizeRun(req)
+	if herr != nil {
+		writeHTTPError(w, herr)
+		return
+	}
+	if s.Draining() {
+		writeJSONError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	s.met.runs.Add(1)
+	key := runKey(p)
+	w.Header().Set("X-Cache-Key", key)
+	if req.Stream {
+		s.streamRun(w, r, p, key)
+		return
+	}
+	if !p.detRuntime {
+		// Measured-runtime physics is not reproducible, so it is never
+		// cached; each request pays for its own computation.
+		ctx, cancel := s.jobContext(r.Context())
+		defer cancel()
+		payload, err := s.runPayload(ctx, p)
+		if err != nil {
+			s.writeJobError(w, err)
+			return
+		}
+		writePayload(w, "bypass", payload)
+		return
+	}
+	if payload, ok := s.cache.get(key); ok {
+		writePayload(w, "hit", payload)
+		return
+	}
+	payload, err, shared := s.flights.do(r.Context(), key, func() ([]byte, error) {
+		// Re-check under the flight: a request that lost the race
+		// between the cache probe above and joining the flight must
+		// not become a second computation of a result that just landed
+		// (peek: internal, invisible to the hit/miss accounting).
+		if b, ok := s.cache.peek(key); ok {
+			return b, nil
+		}
+		ctx, cancel := s.detachedJobContext()
+		defer cancel()
+		b, err := s.runPayload(ctx, p)
+		if err == nil {
+			s.cache.put(key, b)
+		}
+		return b, err
+	})
+	if err != nil {
+		s.writeJobError(w, err)
+		return
+	}
+	state := "miss"
+	if shared {
+		state = "coalesced"
+		s.met.coalesced.Add(1)
+	}
+	writePayload(w, state, payload)
+}
+
+// streamRun answers a run request with Server-Sent Events: `start`,
+// one `tick` per control period straight from Options.OnTick, then a
+// terminal `summary` (or `error`). A deterministic run's summary also
+// back-fills the result cache on the way out.
+func (s *Server) streamRun(w http.ResponseWriter, r *http.Request, p runParams, key string) {
+	ctx, cancel := s.jobContext(r.Context())
+	defer cancel()
+	if err := s.q.acquire(ctx); err != nil {
+		s.writeJobError(w, err)
+		return
+	}
+	defer s.q.release()
+	ew, err := newEventWriter(w)
+	if err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.met.streams.Add(1)
+	defer s.met.streams.Add(-1)
+	s.met.computations.Add(1)
+
+	start, _ := json.Marshal(map[string]any{
+		"key":        key,
+		"cycle":      p.cycle.Name,
+		"scheme":     p.scheme.Name,
+		"duration_s": p.durationS,
+		"tick_s":     p.tickS,
+	})
+	if ew.event("start", start) != nil {
+		return
+	}
+	var writeErr error
+	res, err := s.executeRun(ctx, p, func(t sim.Tick) {
+		if writeErr != nil {
+			return
+		}
+		b, merr := report.MarshalTick(t)
+		if merr == nil {
+			merr = ew.event("tick", b)
+		}
+		if merr != nil {
+			// The client went away mid-stream: stop the simulation at
+			// its next per-tick context check instead of simulating
+			// into a dead socket.
+			writeErr = merr
+			cancel()
+		}
+	})
+	if err != nil {
+		if writeErr == nil {
+			msg, _ := json.Marshal(map[string]string{"error": err.Error()})
+			ew.event("error", msg)
+		}
+		return
+	}
+	payload, err := report.MarshalResult(res)
+	if err != nil {
+		msg, _ := json.Marshal(map[string]string{"error": err.Error()})
+		ew.event("error", msg)
+		return
+	}
+	if p.detRuntime {
+		s.cache.put(key, payload)
+	}
+	ew.event("summary", payload)
+}
+
+// --- sweep execution ---
+
+// sweepEnvelope is the /v1/sweeps response: the versioned rendering of
+// the cycle × scheme matrix, shared with the report package's table
+// schema.
+type sweepEnvelope struct {
+	Version int           `json:"version"`
+	Table   *report.Table `json:"table"`
+}
+
+// sweepPayload claims a queue slot and runs the cycle × scheme matrix
+// on the batch engine. Sweeps always price runtime deterministically —
+// the cacheability contract — so the payload is bit-reproducible.
+func (s *Server) sweepPayload(ctx context.Context, p sweepParams) ([]byte, error) {
+	if err := s.q.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.q.release()
+	s.met.computations.Add(1)
+	sys := sim.DefaultSystem()
+	sys.Modules = p.modules
+	opts := sim.DefaultOptions()
+	opts.TickSeconds = p.tickS
+	opts.SensorNoiseC = p.noiseC
+	opts.Seed = p.seed
+	opts.Workers = s.cfg.Workers
+	opts.DeterministicRuntime = true
+	opts.KeepTicks = false
+	opts.OnTick = func(sim.Tick) { s.met.ticks.Add(1) }
+	setup := &experiments.Setup{Sys: sys, Opts: opts, HorizonTicks: p.horizon}
+	res, err := experiments.ScenarioSweepContext(ctx, setup, experiments.ScenarioOptions{
+		Cycles:      p.cycles,
+		Schemes:     p.schemes,
+		MaxDuration: p.maxDurationS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(sweepEnvelope{Version: report.ResultVersion, Table: report.FromScenarioSweep(res)})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if herr := decodeJSON(w, r, &req); herr != nil {
+		writeHTTPError(w, herr)
+		return
+	}
+	p, herr := s.normalizeSweep(req)
+	if herr != nil {
+		writeHTTPError(w, herr)
+		return
+	}
+	if s.Draining() {
+		writeJSONError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	s.met.sweeps.Add(1)
+	key := sweepKey(p)
+	w.Header().Set("X-Cache-Key", key)
+	if payload, ok := s.cache.get(key); ok {
+		writePayload(w, "hit", payload)
+		return
+	}
+	payload, err, shared := s.flights.do(r.Context(), key, func() ([]byte, error) {
+		// Same race re-check as handleRun: never recompute a result
+		// that landed between the cache probe and the flight claim.
+		if b, ok := s.cache.peek(key); ok {
+			return b, nil
+		}
+		ctx, cancel := s.detachedJobContext()
+		defer cancel()
+		b, err := s.sweepPayload(ctx, p)
+		if err == nil {
+			s.cache.put(key, b)
+		}
+		return b, err
+	})
+	if err != nil {
+		s.writeJobError(w, err)
+		return
+	}
+	state := "miss"
+	if shared {
+		state = "coalesced"
+		s.met.coalesced.Add(1)
+	}
+	writePayload(w, state, payload)
+}

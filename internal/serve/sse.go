@@ -1,0 +1,112 @@
+// Server-Sent Events: the streaming half of the run API. The encoder
+// writes the wire format and flushes after every event so a tick
+// reaches the client within its own control period; the decoder is the
+// matching minimal client used by examples, tests and the smoke job.
+
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// eventWriter encodes text/event-stream frames onto a response.
+type eventWriter struct {
+	w  io.Writer
+	fl http.Flusher
+}
+
+// newEventWriter claims the response for SSE, setting the stream
+// headers. It fails when the transport cannot flush incrementally.
+func newEventWriter(w http.ResponseWriter) (*eventWriter, error) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		return nil, fmt.Errorf("serve: response writer cannot stream (no http.Flusher)")
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-store")
+	h.Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	return &eventWriter{w: w, fl: fl}, nil
+}
+
+// event writes one named event and flushes it to the client. Data may
+// span lines; each becomes its own data: field per the SSE grammar.
+func (e *eventWriter) event(name string, data []byte) error {
+	if _, err := fmt.Fprintf(e.w, "event: %s\n", name); err != nil {
+		return err
+	}
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		if _, err := fmt.Fprintf(e.w, "data: %s\n", line); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(e.w, "\n"); err != nil {
+		return err
+	}
+	e.fl.Flush()
+	return nil
+}
+
+// Event is one decoded server-sent event. The run stream emits `start`
+// (run identity and parameters), `tick` (one per control period, the
+// report tick schema), and exactly one terminal event: `summary` (the
+// versioned Result JSON) on success or `error` otherwise.
+type Event struct {
+	Name string
+	Data []byte
+}
+
+// ErrStopDecoding tells DecodeEvents to stop early: a callback that
+// returns it ends the loop and DecodeEvents returns nil.
+var ErrStopDecoding = errors.New("serve: stop decoding events")
+
+// DecodeEvents parses a text/event-stream body, invoking fn for each
+// complete event. It returns when the stream ends, fn fails, or fn
+// returns ErrStopDecoding.
+func DecodeEvents(r io.Reader, fn func(Event) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var name string
+	var data [][]byte
+	flush := func() error {
+		if name == "" && data == nil {
+			return nil
+		}
+		ev := Event{Name: name, Data: bytes.Join(data, []byte{'\n'})}
+		name, data = "", nil
+		return fn(ev)
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		switch {
+		case len(line) == 0:
+			if err := flush(); err != nil {
+				if errors.Is(err, ErrStopDecoding) {
+					return nil
+				}
+				return err
+			}
+		case line[0] == ':': // comment / keep-alive
+		case bytes.HasPrefix(line, []byte("event:")):
+			name = string(bytes.TrimSpace(line[len("event:"):]))
+		case bytes.HasPrefix(line, []byte("data:")):
+			d := line[len("data:"):]
+			if len(d) > 0 && d[0] == ' ' {
+				d = d[1:]
+			}
+			data = append(data, append([]byte(nil), d...))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if err := flush(); err != nil && !errors.Is(err, ErrStopDecoding) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Server smoke test: boot tegserve on a random port, exercise the API
+# end to end with a real HTTP client (a short WLTC/EHTR run streamed
+# over SSE must terminate with a summary event), check the metrics
+# endpoint, and verify SIGTERM drains the process cleanly (exit 0).
+#
+# Run from the repo root: ./scripts/serve_smoke.sh
+set -euo pipefail
+
+workdir=$(mktemp -d)
+cleanup() {
+  [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building tegserve"
+go build -o "$workdir/tegserve" ./cmd/tegserve
+
+echo "== booting on a random port"
+"$workdir/tegserve" -addr 127.0.0.1:0 >"$workdir/serve.log" 2>&1 &
+pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's#.*listening on http://##p' "$workdir/serve.log" | head -n1)
+  [ -n "$addr" ] && break
+  kill -0 "$pid" 2>/dev/null || { echo "tegserve died:"; cat "$workdir/serve.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "never saw listen line:"; cat "$workdir/serve.log"; exit 1; }
+base="http://$addr"
+echo "   up at $base"
+
+echo "== healthz"
+curl -fsS "$base/healthz"; echo
+
+echo "== registries"
+curl -fsS "$base/v1/schemes" | grep -q '"DNOR"' || { echo "schemes missing DNOR"; exit 1; }
+curl -fsS "$base/v1/cycles" | grep -q '"wltc"' || { echo "cycles missing wltc"; exit 1; }
+
+echo "== short WLTC/EHTR run over SSE"
+sse=$(curl -fsS -N -H 'Content-Type: application/json' \
+  -d '{"cycle":"wltc","scheme":"ehtr","duration_s":10,"modules":40,"stream":true}' \
+  "$base/v1/runs")
+echo "$sse" | grep -q '^event: tick$' || { echo "no tick events:"; echo "$sse" | head -5; exit 1; }
+echo "$sse" | grep -q '^event: summary$' || { echo "stream did not terminate with a summary event"; exit 1; }
+echo "$sse" | grep -q '"version":1' || { echo "summary is not the versioned result schema"; exit 1; }
+echo "   $(echo "$sse" | grep -c '^event: tick$') ticks + summary"
+
+echo "== repeat run is a cache hit"
+hit=$(curl -fsS -D - -o /dev/null -H 'Content-Type: application/json' \
+  -d '{"cycle":"wltc","scheme":"ehtr","duration_s":10,"modules":40}' \
+  "$base/v1/runs" | tr -d '\r' | sed -n 's/^X-Cache: //p')
+[ "$hit" = "hit" ] || { echo "expected cache hit, got '$hit'"; exit 1; }
+
+echo "== metrics"
+metrics=$(curl -fsS "$base/metrics")
+echo "$metrics" | grep '^tegserve_ticks_total ' || { echo "no tick counter"; exit 1; }
+echo "$metrics" | grep '^tegserve_cache_hits_total 1$' >/dev/null || { echo "cache hit not counted"; exit 1; }
+
+echo "== graceful drain on SIGTERM"
+kill -TERM "$pid"
+wait "$pid" || { echo "tegserve exited nonzero"; cat "$workdir/serve.log"; exit 1; }
+grep -q "drained cleanly" "$workdir/serve.log" || { echo "no clean-drain log line"; cat "$workdir/serve.log"; exit 1; }
+pid=""
+
+echo "== smoke OK"

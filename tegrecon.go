@@ -205,6 +205,30 @@ func NewBaselineController(sys *System) (Controller, error) {
 	return core.NewBaseline10x10(sys.Modules)
 }
 
+// Scheme is a registered reconfiguration scheme: name, description and
+// controller factory.
+type Scheme = sim.Scheme
+
+// SchemeNames returns the registered reconfiguration scheme names in
+// registry order — the list NewControllerByName (and the tegserve API)
+// accepts.
+func SchemeNames() []string { return sim.SchemeNames() }
+
+// SchemeByName looks a reconfiguration scheme up case-insensitively
+// ("static" aliases the baseline).
+func SchemeByName(name string) (Scheme, error) { return sim.SchemeByName(name) }
+
+// NewControllerByName builds a fresh controller for any registered
+// scheme with the paper's default tuning — the string-keyed face of the
+// NewXController constructors.
+func NewControllerByName(name string, sys *System) (Controller, error) {
+	sch, err := sim.SchemeByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return sch.New(sys, sim.SchemeConfig{})
+}
+
 // NewMLRPredictor builds the paper's selected predictor with default
 // tuning (AR order 4, 60-tick window).
 func NewMLRPredictor() (Predictor, error) { return predict.NewMLR(predict.DefaultMLROptions()) }
