@@ -1,0 +1,489 @@
+// Command tegbench is the repository's reproducible performance
+// harness: it runs a fixed benchmark suite over the simulation engine
+// and emits one machine-readable JSON document, so every PR's perf is
+// recorded next to the code (BENCH_<pr>.json at the repo root) and CI
+// can fail a change that regresses the committed allocation budget.
+//
+// Usage:
+//
+//	tegbench [-quick] [-pr 5] [-out BENCH_5.json] [-budget bench_budget.json]
+//
+// -quick shrinks drive durations and iteration counts for CI; -out
+// writes the JSON to a file instead of stdout; -budget reads a budget
+// file (see below) and exits non-zero when the measured session_step
+// numbers exceed it.
+//
+// The fixed suite:
+//
+//	session_step        one steady-state Session.Step (INOR, 100 modules):
+//	                    the zero-allocation gate of the tick engine
+//	table1_<scheme>     one full run per Table I scheme over the synthetic
+//	                    drive (dnor, inor, ehtr, baseline)
+//	scaling_inor_n<N>   a single INOR decision at N = 100, 200, 400, 800
+//	scaling_ehtr_n100   the O(N³) reconstruction at N = 100
+//	sweep_throughput    the full cycle × scheme scenario sweep on the
+//	                    parallel batch engine (aggregate ticks/sec)
+//	serve_cache_hit     a POST /v1/runs answered from the result cache —
+//	                    the steady-state cost of a repeated request
+//
+// JSON schema (schema_version 1):
+//
+//	{
+//	  "schema_version": 1,            // this document's format version
+//	  "pr":             5,            // -pr value; which PR measured this
+//	  "git_sha":        "<hex|unknown>",
+//	  "git_dirty":      true,         // uncommitted changes at measure time
+//	  "go_version":     "go1.24.x",
+//	  "goos":           "linux",
+//	  "goarch":         "amd64",
+//	  "quick":          false,        // -quick was set
+//	  "timestamp":      "RFC 3339 UTC",
+//	  "results": [
+//	    {
+//	      "name":          "session_step",
+//	      "iterations":    12345,     // measured iterations
+//	      "ns_per_op":     287000,    // wall time per operation
+//	      "bytes_per_op":  0,         // heap bytes per operation (alloc-tracked suites)
+//	      "allocs_per_op": 0,         // heap allocations per operation
+//	      "ticks_per_sec": 3484,      // simulated control periods per second,
+//	                                  // when the suite simulates ticks
+//	    }, ...
+//	  ]
+//	}
+//
+// Budget file schema (-budget): a JSON object whose present fields are
+// enforced against the session_step result:
+//
+//	{
+//	  "session_step_max_allocs_per_op": 0,
+//	  "session_step_max_bytes_per_op":  64,
+//	  "session_step_max_ns_per_op":     0        // 0 = not enforced
+//	}
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tegrecon/internal/drive"
+	"tegrecon/internal/experiments"
+	"tegrecon/internal/serve"
+	"tegrecon/internal/sim"
+	"tegrecon/internal/thermal"
+)
+
+// Result is one suite entry of the emitted document. The allocation
+// fields are present only for the alloc-tracked suites (session_step,
+// scaling_*); wall-clock suites omit them rather than claim a zero they
+// did not measure.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	TicksPerSec float64 `json:"ticks_per_sec,omitempty"`
+}
+
+// Document is the whole emitted report.
+type Document struct {
+	SchemaVersion int      `json:"schema_version"`
+	PR            int      `json:"pr"`
+	GitSHA        string   `json:"git_sha"`
+	GitDirty      bool     `json:"git_dirty"`
+	GoVersion     string   `json:"go_version"`
+	GOOS          string   `json:"goos"`
+	GOARCH        string   `json:"goarch"`
+	Quick         bool     `json:"quick"`
+	Timestamp     string   `json:"timestamp"`
+	Results       []Result `json:"results"`
+}
+
+// Budget is the enforced floor for the session_step suite.
+type Budget struct {
+	SessionStepMaxAllocsPerOp *int64  `json:"session_step_max_allocs_per_op"`
+	SessionStepMaxBytesPerOp  *int64  `json:"session_step_max_bytes_per_op"`
+	SessionStepMaxNsPerOp     float64 `json:"session_step_max_ns_per_op"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tegbench: ")
+	var (
+		quick      = flag.Bool("quick", false, "shrink durations and iteration counts (CI mode)")
+		out        = flag.String("out", "", "write the JSON document to this file instead of stdout")
+		pr         = flag.Int("pr", 0, "PR number stamped into the document")
+		budgetPath = flag.String("budget", "", "budget JSON enforced against session_step; non-zero exit on violation")
+	)
+	flag.Parse()
+
+	doc := Document{
+		SchemaVersion: 1,
+		PR:            *pr,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		Quick:         *quick,
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+	}
+	doc.GitSHA, doc.GitDirty = gitState()
+
+	runDur, sweepCap := 120.0, 120.0
+	if *quick {
+		runDur, sweepCap = 60.0, 45.0
+	}
+
+	suites := []struct {
+		name string
+		run  func() (Result, error)
+	}{
+		{"session_step", func() (Result, error) { return benchSessionStep(runDur) }},
+		{"table1_dnor", func() (Result, error) { return benchTableScheme("DNOR", runDur) }},
+		{"table1_inor", func() (Result, error) { return benchTableScheme("INOR", runDur) }},
+		{"table1_ehtr", func() (Result, error) { return benchTableScheme("EHTR", runDur) }},
+		{"table1_baseline", func() (Result, error) { return benchTableScheme("Baseline", runDur) }},
+		{"scaling_inor_n100", func() (Result, error) { return benchDecide(100, false) }},
+		{"scaling_inor_n200", func() (Result, error) { return benchDecide(200, false) }},
+		{"scaling_inor_n400", func() (Result, error) { return benchDecide(400, false) }},
+		{"scaling_inor_n800", func() (Result, error) { return benchDecide(800, false) }},
+		{"scaling_ehtr_n100", func() (Result, error) { return benchDecide(100, true) }},
+		{"sweep_throughput", func() (Result, error) { return benchSweep(sweepCap) }},
+		{"serve_cache_hit", benchServeCacheHit},
+	}
+	for _, s := range suites {
+		log.Printf("running %s ...", s.name)
+		r, err := s.run()
+		if err != nil {
+			log.Fatalf("%s: %v", s.name, err)
+		}
+		r.Name = s.name
+		doc.Results = append(doc.Results, r)
+	}
+
+	payload, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	payload = append(payload, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, payload, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *out)
+	} else {
+		os.Stdout.Write(payload)
+	}
+
+	if *budgetPath != "" {
+		if err := enforceBudget(*budgetPath, doc); err != nil {
+			log.Fatalf("budget violation: %v", err)
+		}
+		log.Printf("budget %s satisfied", *budgetPath)
+	}
+}
+
+// gitState reports the checked-out commit and whether the tree carries
+// uncommitted changes; "unknown" when git is unavailable.
+func gitState() (sha string, dirty bool) {
+	rev, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown", false
+	}
+	status, err := exec.Command("git", "status", "--porcelain").Output()
+	return strings.TrimSpace(string(rev)), err == nil && len(bytes.TrimSpace(status)) > 0
+}
+
+// enforceBudget fails when the session_step result exceeds any budget
+// field present in the file.
+func enforceBudget(path string, doc Document) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var b Budget
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	var step *Result
+	for i := range doc.Results {
+		if doc.Results[i].Name == "session_step" {
+			step = &doc.Results[i]
+		}
+	}
+	if step == nil {
+		return fmt.Errorf("no session_step result to enforce against")
+	}
+	if step.AllocsPerOp == nil || step.BytesPerOp == nil {
+		return fmt.Errorf("session_step did not track allocations")
+	}
+	if b.SessionStepMaxAllocsPerOp != nil && *step.AllocsPerOp > *b.SessionStepMaxAllocsPerOp {
+		return fmt.Errorf("session_step allocs/op %d exceeds budget %d", *step.AllocsPerOp, *b.SessionStepMaxAllocsPerOp)
+	}
+	if b.SessionStepMaxBytesPerOp != nil && *step.BytesPerOp > *b.SessionStepMaxBytesPerOp {
+		return fmt.Errorf("session_step B/op %d exceeds budget %d", *step.BytesPerOp, *b.SessionStepMaxBytesPerOp)
+	}
+	if b.SessionStepMaxNsPerOp > 0 && step.NsPerOp > b.SessionStepMaxNsPerOp {
+		return fmt.Errorf("session_step ns/op %.0f exceeds budget %.0f", step.NsPerOp, b.SessionStepMaxNsPerOp)
+	}
+	return nil
+}
+
+// benchSetup builds the Section VI rig over a shortened synthetic
+// drive.
+func benchSetup(seconds float64) (*experiments.Setup, error) {
+	s, err := experiments.DefaultSetup()
+	if err != nil {
+		return nil, err
+	}
+	cfg := drive.DefaultSynthConfig()
+	cfg.Duration = seconds
+	tr, err := drive.Synthesize(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.Trace = tr
+	return s, nil
+}
+
+// preparedConds interpolates every control period's radiator boundary
+// conditions up front so the step benchmark measures only the engine.
+func preparedConds(s *experiments.Setup) ([]thermal.Conditions, error) {
+	ticks := int(s.Trace.Duration()/s.Opts.TickSeconds) + 1
+	conds := make([]thermal.Conditions, ticks)
+	for k := range conds {
+		cond, err := drive.ConditionsAt(s.Trace, s.Trace.Times[0]+float64(k)*s.Opts.TickSeconds)
+		if err != nil {
+			return nil, err
+		}
+		conds[k] = cond
+	}
+	return conds, nil
+}
+
+// benchSessionStep measures one steady-state control period of the
+// incremental engine — the zero-allocation acceptance gate.
+func benchSessionStep(seconds float64) (Result, error) {
+	s, err := benchSetup(seconds)
+	if err != nil {
+		return Result{}, err
+	}
+	conds, err := preparedConds(s)
+	if err != nil {
+		return Result{}, err
+	}
+	ctrl, err := s.NewINOR()
+	if err != nil {
+		return Result{}, err
+	}
+	opts := s.Opts
+	opts.DeterministicRuntime = true
+	opts.KeepTicks = false
+	sess, err := sim.NewSession(s.Sys, ctrl, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	// Warmup: one full pass grows every scratch buffer to the largest
+	// size this drive demands, so the measurement sees steady state.
+	for _, cond := range conds {
+		if _, err := sess.Step(cond); err != nil {
+			return Result{}, err
+		}
+	}
+	var stepErr error
+	i := 0
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			if _, err := sess.Step(conds[i%len(conds)]); err != nil {
+				stepErr = err
+				b.FailNow()
+			}
+			i++
+		}
+	})
+	if stepErr != nil {
+		return Result{}, stepErr
+	}
+	r := fromBenchmark(br)
+	if r.NsPerOp > 0 {
+		r.TicksPerSec = 1e9 / r.NsPerOp
+	}
+	return r, nil
+}
+
+// benchTableScheme times one full Table I run of the named scheme and
+// reports simulated ticks per wall-clock second.
+func benchTableScheme(scheme string, seconds float64) (Result, error) {
+	s, err := benchSetup(seconds)
+	if err != nil {
+		return Result{}, err
+	}
+	opts := s.Opts
+	opts.DeterministicRuntime = true
+	opts.KeepTicks = false
+	var ticks atomic.Int64
+	opts.OnTick = func(sim.Tick) { ticks.Add(1) }
+	ctrl, err := s.NewScheme(scheme)
+	if err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	res, err := sim.Run(s.Sys, s.Trace, ctrl, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	elapsed := time.Since(start)
+	if res.EnergyOutJ <= 0 {
+		return Result{}, fmt.Errorf("%s harvested no energy", scheme)
+	}
+	r := Result{Iterations: 1, NsPerOp: float64(elapsed.Nanoseconds())}
+	if secs := elapsed.Seconds(); secs > 0 {
+		r.TicksPerSec = float64(ticks.Load()) / secs
+	}
+	return r, nil
+}
+
+// benchDecide times a single controller invocation at array size n —
+// the Ext-A scaling study (O(N) INOR vs the O(N³) EHTR
+// reconstruction).
+func benchDecide(n int, ehtr bool) (Result, error) {
+	sys := sim.DefaultSystem()
+	sys.Modules = n
+	scheme := "INOR"
+	if ehtr {
+		scheme = "EHTR"
+	}
+	sch, err := sim.SchemeByName(scheme)
+	if err != nil {
+		return Result{}, err
+	}
+	ctrl, err := sch.New(sys, sim.SchemeConfig{})
+	if err != nil {
+		return Result{}, err
+	}
+	temps := make([]float64, n)
+	for i := range temps {
+		temps[i] = 38 + 54*float64(n-i)/float64(n)
+	}
+	var decErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ctrl.Decide(i, temps, 25); err != nil {
+				decErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if decErr != nil {
+		return Result{}, decErr
+	}
+	return fromBenchmark(br), nil
+}
+
+// benchSweep runs the whole cycle × scheme scenario matrix on the
+// parallel batch engine and reports aggregate simulated ticks/sec —
+// the service's bulk-throughput number.
+func benchSweep(maxDuration float64) (Result, error) {
+	s, err := benchSetup(60) // sweep synthesises its own cycle traces
+	if err != nil {
+		return Result{}, err
+	}
+	s.Opts.Workers = 0 // all cores
+	s.Opts.DeterministicRuntime = true
+	s.Opts.KeepTicks = false
+	var ticks atomic.Int64
+	s.Opts.OnTick = func(sim.Tick) { ticks.Add(1) }
+	start := time.Now()
+	if _, err := experiments.ScenarioSweep(s, experiments.ScenarioOptions{MaxDuration: maxDuration}); err != nil {
+		return Result{}, err
+	}
+	elapsed := time.Since(start)
+	r := Result{Iterations: 1, NsPerOp: float64(elapsed.Nanoseconds())}
+	if secs := elapsed.Seconds(); secs > 0 {
+		r.TicksPerSec = float64(ticks.Load()) / secs
+	}
+	return r, nil
+}
+
+// benchServeCacheHit measures the steady-state cost of a POST /v1/runs
+// answered from the content-addressed result cache.
+func benchServeCacheHit() (Result, error) {
+	srv := serve.New(serve.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	body := `{"cycle":"nedc","scheme":"inor","duration_s":30}`
+	post := func() (string, error) {
+		resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return resp.Header.Get("X-Cache"), nil
+	}
+	// Prime the cache.
+	if state, err := post(); err != nil {
+		return Result{}, err
+	} else if state != "miss" {
+		return Result{}, fmt.Errorf("priming request was %q, want miss", state)
+	}
+	var postErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			state, err := post()
+			if err != nil {
+				postErr = err
+				b.FailNow()
+			}
+			if state != "hit" {
+				postErr = fmt.Errorf("request %d was %q, want hit", i, state)
+				b.FailNow()
+			}
+		}
+	})
+	if postErr != nil {
+		return Result{}, postErr
+	}
+	st := srv.Stats()
+	if st.CacheHits < int64(br.N) {
+		return Result{}, fmt.Errorf("server recorded %d hits for %d benchmarked requests", st.CacheHits, br.N)
+	}
+	return Result{Iterations: br.N, NsPerOp: nsPerOp(br)}, nil
+}
+
+// fromBenchmark converts a testing.BenchmarkResult.
+func fromBenchmark(br testing.BenchmarkResult) Result {
+	bytesPerOp, allocsPerOp := br.AllocedBytesPerOp(), br.AllocsPerOp()
+	return Result{
+		Iterations:  br.N,
+		NsPerOp:     nsPerOp(br),
+		BytesPerOp:  &bytesPerOp,
+		AllocsPerOp: &allocsPerOp,
+	}
+}
+
+func nsPerOp(br testing.BenchmarkResult) float64 {
+	if br.N <= 0 {
+		return 0
+	}
+	return float64(br.T.Nanoseconds()) / float64(br.N)
+}

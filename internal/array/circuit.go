@@ -55,13 +55,26 @@ func (a *Array) N() int { return len(a.Ops) }
 // Algorithm 1. Failed modules contribute zero (they cannot source
 // current at any operating point).
 func (a *Array) MPPCurrents() []float64 {
-	out := make([]float64, len(a.Ops))
+	return a.MPPCurrentsInto(nil)
+}
+
+// MPPCurrentsInto is MPPCurrents writing into dst, reusing its backing
+// storage when the capacity suffices. The controllers recompute the MPP
+// current vector every decision; a reused scratch slice keeps that off
+// the heap.
+func (a *Array) MPPCurrentsInto(dst []float64) []float64 {
+	if cap(dst) < len(a.Ops) {
+		dst = make([]float64, len(a.Ops))
+	}
+	dst = dst[:len(a.Ops)]
 	for i, op := range a.Ops {
 		if a.healthOf(i) == Healthy {
-			out[i] = a.Spec.MPPCurrent(op)
+			dst[i] = a.Spec.MPPCurrent(op)
+		} else {
+			dst[i] = 0
 		}
 	}
-	return out
+	return dst
 }
 
 // IdealPower returns P_ideal = Σ module MPP powers over the healthy
@@ -89,14 +102,34 @@ func (a *Array) IdealPower() float64 {
 // i.e. Voc_g = (Σ Voc,i/Rᵢ)/(Σ 1/Rᵢ) and R_g = 1/(Σ 1/Rᵢ). Groups in
 // series add voltages and resistances.
 func (a *Array) Equivalent(cfg Config) (Equivalent, error) {
-	if cfg.N != a.N() {
-		return Equivalent{}, fmt.Errorf("array: config for %d modules applied to %d", cfg.N, a.N())
-	}
-	if err := cfg.Validate(); err != nil {
+	var eq Equivalent
+	if err := a.EquivalentInto(&eq, cfg); err != nil {
 		return Equivalent{}, err
 	}
-	eq := Equivalent{Groups: make([]GroupEquivalent, cfg.Groups())}
-	for j := range eq.Groups {
+	return eq, nil
+}
+
+// EquivalentInto is Equivalent assembled in place: dst's Groups backing
+// storage is reused when its capacity suffices, and every other field is
+// overwritten. The evaluator prices dozens of candidate configurations
+// per control period and the simulator re-derives the chosen one every
+// tick, so the per-call Groups allocation used to dominate the hot
+// loop's heap churn; a reused equivalent removes it. On error dst is
+// left in an unspecified state.
+func (a *Array) EquivalentInto(dst *Equivalent, cfg Config) error {
+	if cfg.N != a.N() {
+		return fmt.Errorf("array: config for %d modules applied to %d", cfg.N, a.N())
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	n := cfg.Groups()
+	if cap(dst.Groups) < n {
+		dst.Groups = make([]GroupEquivalent, n)
+	}
+	dst.Groups = dst.Groups[:n]
+	dst.Voc, dst.R, dst.Broken = 0, 0, false
+	for j := range dst.Groups {
 		lo, hi := cfg.GroupBounds(j)
 		sumG, sumVG := 0.0, 0.0 // Σ 1/R, Σ Voc/R
 		for i := lo; i < hi; i++ {
@@ -110,17 +143,17 @@ func (a *Array) Equivalent(cfg Config) (Equivalent, error) {
 		if sumG == 0 {
 			// Every module of the group failed open: the series chain
 			// is interrupted and the array cannot deliver current.
-			eq.Broken = true
-			eq.Voc = 0
-			eq.R = 0
-			return eq, nil
+			dst.Broken = true
+			dst.Voc = 0
+			dst.R = 0
+			return nil
 		}
 		g := GroupEquivalent{Voc: sumVG / sumG, R: 1 / sumG}
-		eq.Groups[j] = g
-		eq.Voc += g.Voc
-		eq.R += g.R
+		dst.Groups[j] = g
+		dst.Voc += g.Voc
+		dst.R += g.R
 	}
-	return eq, nil
+	return nil
 }
 
 // VoltageAt returns the array terminal voltage at output current i.
@@ -157,7 +190,20 @@ func (a *Array) ModuleCurrents(cfg Config, iOut float64) ([]float64, error) {
 // candidate off one Equivalent and reuses it here instead of re-deriving
 // the whole Thevenin chain per question.
 func (a *Array) ModuleCurrentsAt(eq Equivalent, cfg Config, iOut float64) []float64 {
-	out := make([]float64, a.N())
+	return a.ModuleCurrentsInto(nil, eq, cfg, iOut)
+}
+
+// ModuleCurrentsInto is ModuleCurrentsAt writing into dst, reusing its
+// backing storage when the capacity suffices — the allocation-free form
+// the simulator's per-tick efficiency accounting runs on.
+func (a *Array) ModuleCurrentsInto(dst []float64, eq Equivalent, cfg Config, iOut float64) []float64 {
+	if cap(dst) < a.N() {
+		dst = make([]float64, a.N())
+	}
+	out := dst[:a.N()]
+	for i := range out {
+		out[i] = 0
+	}
 	if eq.Broken {
 		return out
 	}

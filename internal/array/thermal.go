@@ -21,6 +21,13 @@ func (a *Array) ThermalInput(cfg Config, iOut float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	return a.thermalInputFromCurrents(currents)
+}
+
+// thermalInputFromCurrents sums the per-module heat draw given the
+// already-solved module currents (as produced by ModuleCurrents /
+// ModuleCurrentsInto for the same cfg and iOut).
+func (a *Array) thermalInputFromCurrents(currents []float64) (float64, error) {
 	kth := a.Spec.ThermalConductanceWK()
 	total := 0.0
 	for i, op := range a.Ops {
@@ -47,17 +54,27 @@ func (a *Array) ThermalInput(cfg Config, iOut float64) (float64, error) {
 // ConversionEfficiency returns array electrical output over thermal
 // input at (cfg, iOut); 0 when no heat flows.
 func (a *Array) ConversionEfficiency(cfg Config, iOut float64) (float64, error) {
-	if iOut < 0 {
-		return 0, fmt.Errorf("array: negative output current %g", iOut)
-	}
 	eq, err := a.Equivalent(cfg)
 	if err != nil {
 		return 0, err
 	}
+	currents := a.ModuleCurrentsAt(eq, cfg, iOut)
+	return a.ConversionEfficiencyAt(eq, cfg, iOut, currents)
+}
+
+// ConversionEfficiencyAt is ConversionEfficiency evaluated against an
+// already computed Equivalent of cfg and the module currents solved at
+// (eq, cfg, iOut) — see ModuleCurrentsInto. It performs no allocation:
+// the simulator calls it once per producing control period and already
+// holds both inputs from the tick's own bookkeeping.
+func (a *Array) ConversionEfficiencyAt(eq Equivalent, cfg Config, iOut float64, currents []float64) (float64, error) {
+	if iOut < 0 {
+		return 0, fmt.Errorf("array: negative output current %g", iOut)
+	}
 	if eq.Broken {
 		return 0, nil
 	}
-	heat, err := a.ThermalInput(cfg, iOut)
+	heat, err := a.thermalInputFromCurrents(currents)
 	if err != nil {
 		return 0, err
 	}

@@ -30,14 +30,20 @@ type DNOR struct {
 	overhead  switchfab.OverheadModel
 	threshold float64 // extra margin on the switch test, joules (0 = paper rule)
 
-	cur       *array.Config
+	// cur is the incumbent configuration, backed by curStarts — storage
+	// the controller owns, because the candidate configs coming out of
+	// the evaluator alias the scratch and are overwritten next decision.
+	cur       array.Config
+	curStarts []int
+	haveCur   bool
 	lastPower float64 // delivered power estimate for overhead pricing
 
-	// Scratch reused across windowEnergy steps: pricing a decision builds
-	// 2·(tp+1) throwaway arrays, which used to dominate the controller's
-	// allocations.
-	scratchOps []teg.OperatingPoint
-	scratchArr array.Array
+	// sc holds the reusable work arrays of the whole decision path:
+	// INOR's candidate search and the 2·(tp+1) windowEnergy pricings per
+	// decision run entirely over these buffers, so a steady-state Decide
+	// allocates only what the predictor does.
+	sc     *scratch
+	window [][]float64 // pricing window: sensed temps + forecast
 }
 
 // DNOROptions configures the controller.
@@ -82,7 +88,15 @@ func NewDNOR(eval *Evaluator, opts DNOROptions) (*DNOR, error) {
 		tickSecs:  opts.TickSeconds,
 		overhead:  opts.Overhead,
 		threshold: opts.ExtraMargin,
+		sc:        newScratch(eval),
 	}, nil
+}
+
+// adopt copies cand into the controller-owned incumbent storage.
+func (c *DNOR) adopt(cand array.Config) {
+	c.curStarts = append(c.curStarts[:0], cand.Starts...)
+	c.cur = array.Config{N: cand.N, Starts: c.curStarts}
+	c.haveCur = true
 }
 
 // Name implements Controller.
@@ -90,14 +104,18 @@ func (c *DNOR) Name() string { return "DNOR" }
 
 // Reset implements Controller.
 func (c *DNOR) Reset() {
-	c.cur = nil
+	c.haveCur = false
 	c.lastPower = 0
 }
 
 // period returns the decision period tp+1 in ticks.
 func (c *DNOR) period() int { return c.horizon + 1 }
 
-// Decide implements Controller.
+// Decide implements Controller. The returned Config is either the
+// controller-owned incumbent or (on adoption ticks) a copy into it, so
+// unlike INOR/EHTR it stays stable until the next adoption — but
+// callers should still honour the general Decision.Config contract and
+// copy anything they keep across periods.
 func (c *DNOR) Decide(tick int, tempsC []float64, ambientC float64) (Decision, error) {
 	start := time.Now()
 	if err := c.pred.Observe(tempsC); err != nil {
@@ -105,35 +123,36 @@ func (c *DNOR) Decide(tick int, tempsC []float64, ambientC float64) (Decision, e
 	}
 
 	// Non-decision ticks just hold the incumbent.
-	if c.cur != nil && tick%c.period() != 0 {
+	if c.haveCur && tick%c.period() != 0 {
 		return Decision{
-			Config:      *c.cur,
+			Config:      c.cur,
 			Expected:    c.lastPower,
 			Switched:    false,
 			ComputeTime: time.Since(start),
 		}, nil
 	}
 
-	// Invoke INOR(Ti) for the candidate.
-	cand, candOp, err := c.eval.Configure(tempsC, ambientC)
+	// Invoke INOR(Ti) for the candidate. cand aliases the scratch winner
+	// buffers: anything held past this Decide must be copied (adopt).
+	cand, candOp, err := c.eval.configureTempsAt(c.sc, tempsC, ambientC, false)
 	if err != nil {
 		return Decision{}, err
 	}
 
 	// First decision, or predictor still warming up: adopt the
 	// candidate outright (there is no incumbent worth defending).
-	if c.cur == nil || !c.pred.Ready() {
-		switched := c.cur == nil || !c.cur.Equal(cand)
-		c.cur = &cand
+	if !c.haveCur || !c.pred.Ready() {
+		switched := !c.haveCur || !c.cur.Equal(cand)
+		c.adopt(cand)
 		c.lastPower = candOp.Delivered
 		return Decision{
-			Config:      cand,
+			Config:      c.cur,
 			Expected:    candOp.Delivered,
 			Switched:    switched,
 			ComputeTime: time.Since(start),
 		}, nil
 	}
-	old := *c.cur
+	old := c.cur
 
 	// Forecast the next tp distributions; the current tick's sensed
 	// temperatures stand in for step 0 of the tp+1-tick window.
@@ -141,9 +160,10 @@ func (c *DNOR) Decide(tick int, tempsC []float64, ambientC float64) (Decision, e
 	if err != nil {
 		return Decision{}, err
 	}
-	window := make([][]float64, 0, c.horizon+1)
-	window = append(window, tempsC)
-	window = append(window, forecast...)
+	c.window = c.window[:0]
+	c.window = append(c.window, tempsC)
+	c.window = append(c.window, forecast...)
+	window := c.window
 
 	eOld, err := c.windowEnergy(old, window, ambientC)
 	if err != nil {
@@ -160,13 +180,14 @@ func (c *DNOR) Decide(tick int, tempsC []float64, ambientC float64) (Decision, e
 
 	d := Decision{ComputeTime: 0}
 	if eOld <= eNew-eOverhead-c.threshold {
-		c.cur = &cand
+		switched := !old.Equal(cand)
+		c.adopt(cand) // overwrites old's backing — all comparisons done above
 		c.lastPower = candOp.Delivered
-		d.Config = cand
+		d.Config = c.cur
 		d.Expected = candOp.Delivered
-		d.Switched = !old.Equal(cand)
+		d.Switched = switched
 	} else {
-		d.Config = old
+		d.Config = c.cur
 		// Refresh the incumbent's expected power at today's temps.
 		d.Expected = eOld / (float64(len(window)) * c.tickSecs)
 		c.lastPower = d.Expected
@@ -177,16 +198,18 @@ func (c *DNOR) Decide(tick int, tempsC []float64, ambientC float64) (Decision, e
 }
 
 // windowEnergy prices a configuration over a window of (predicted)
-// temperature distributions: Σ delivered-power × tick length.
+// temperature distributions: Σ delivered-power × tick length. It runs
+// entirely over the controller's scratch — cfg may alias the scratch
+// winner buffers (the candidate does), which the pricing never touches.
 func (c *DNOR) windowEnergy(cfg array.Config, window [][]float64, ambientC float64) (float64, error) {
 	total := 0.0
 	for _, temps := range window {
 		// The evaluator's spec was validated at construction, so the
 		// Array value is assembled in place over the reused scratch
 		// buffer instead of going through array.New every step.
-		c.scratchOps = teg.OpsFromTempsInto(c.scratchOps, temps, ambientC)
-		c.scratchArr = array.Array{Spec: c.eval.Spec, Ops: c.scratchOps}
-		op, err := c.eval.Best(&c.scratchArr, cfg)
+		c.sc.ops = teg.OpsFromTempsInto(c.sc.ops, temps, ambientC)
+		c.sc.arr = array.Array{Spec: c.eval.Spec, Ops: c.sc.ops}
+		op, err := c.eval.bestAt(c.sc, &c.sc.arr, cfg)
 		if err != nil {
 			return 0, err
 		}

@@ -3,9 +3,6 @@ package core
 import (
 	"fmt"
 	"time"
-
-	"tegrecon/internal/array"
-	"tegrecon/internal/teg"
 )
 
 // EHTR reconstructs the prior-work Efficient Heuristic TEG
@@ -19,7 +16,7 @@ import (
 // reports). See DESIGN.md §2 for the substitution rationale.
 type EHTR struct {
 	eval *Evaluator
-	last *array.Config
+	sc   *scratch
 }
 
 // NewEHTR builds the controller.
@@ -27,35 +24,31 @@ func NewEHTR(eval *Evaluator) (*EHTR, error) {
 	if eval == nil {
 		return nil, fmt.Errorf("core: nil evaluator")
 	}
-	return &EHTR{eval: eval}, nil
+	return &EHTR{eval: eval, sc: newScratch(eval)}, nil
 }
 
 // Name implements Controller.
 func (c *EHTR) Name() string { return "EHTR" }
 
-// Reset implements Controller.
-func (c *EHTR) Reset() { c.last = nil }
+// Reset implements Controller. EHTR is memoryless between periods (its
+// scratch — including the DP work arrays — is fully overwritten each
+// Decide), so there is no state to clear.
+func (c *EHTR) Reset() {}
 
 // Decide implements Controller: exhaustive-partition reconfiguration
-// every period.
+// every period. The returned Config aliases the controller's scratch
+// and is valid until the next Decide.
 func (c *EHTR) Decide(tick int, tempsC []float64, ambientC float64) (Decision, error) {
 	start := time.Now()
-	ops := teg.OpsFromTemps(tempsC, ambientC)
-	arr, err := array.New(c.eval.Spec, ops)
-	if err != nil {
-		return Decision{}, err
-	}
-	cfg, op, err := c.eval.configureArray(arr, dpPartition)
+	cfg, op, err := c.eval.configureTempsAt(c.sc, tempsC, ambientC, true)
 	if err != nil {
 		return Decision{}, err
 	}
 	// Like INOR, EHTR reprograms the fabric every period (Section VI).
-	d := Decision{
+	return Decision{
 		Config:      cfg,
 		Expected:    op.Delivered,
 		Switched:    true,
 		ComputeTime: time.Since(start),
-	}
-	c.last = &cfg
-	return d, nil
+	}, nil
 }

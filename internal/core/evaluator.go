@@ -10,13 +10,11 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"time"
 
 	"tegrecon/internal/array"
 	"tegrecon/internal/converter"
 	"tegrecon/internal/teg"
-	"tegrecon/internal/units"
 )
 
 // Evaluator prices candidate configurations: it finds the operating
@@ -52,45 +50,12 @@ type Operating struct {
 // Best locates the delivered-power maximum of cfg on the given array.
 // The search is a coarse scan refined by golden section, robust to the
 // converter's input-window cliff; currents that reverse-drive any module
-// are excluded unless nothing else is feasible.
+// are excluded unless nothing else is feasible. Best is the convenience
+// form for one-off questions; the deciders run the same arithmetic
+// through their per-controller scratch (bestAt) so the per-period hot
+// path allocates nothing.
 func (e *Evaluator) Best(arr *array.Array, cfg array.Config) (Operating, error) {
-	eq, err := arr.Equivalent(cfg)
-	if err != nil {
-		return Operating{}, err
-	}
-	if eq.Voc <= 0 {
-		return Operating{}, nil
-	}
-	isc := eq.Voc / eq.R
-	delivered := func(i float64) float64 {
-		v := eq.VoltageAt(i)
-		return e.Conv.OutputPower(v, v*i)
-	}
-	// Coarse scan to bracket the global maximum.
-	const coarse = 64
-	bestI, bestP := 0.0, 0.0
-	for k := 0; k <= coarse; k++ {
-		i := isc * float64(k) / coarse
-		if p := delivered(i); p > bestP {
-			bestP, bestI = p, i
-		}
-	}
-	if bestP <= 0 {
-		// Converter cannot run anywhere on this curve.
-		return Operating{Reverse: false}, nil
-	}
-	lo := math.Max(0, bestI-isc/coarse)
-	hi := math.Min(isc, bestI+isc/coarse)
-	i, p := units.GoldenMax(delivered, lo, hi, isc*1e-7)
-	rev := arr.HasReverseCurrentAt(eq, cfg, i)
-	v := eq.VoltageAt(i)
-	return Operating{
-		Current:   i,
-		Voltage:   v,
-		ArrayW:    v * i,
-		Delivered: p,
-		Reverse:   rev,
-	}, nil
+	return e.bestAt(newScratch(e), arr, cfg)
 }
 
 // GroupWindow derives Algorithm 1's [nmin, nmax] from the converter's
@@ -111,6 +76,13 @@ func (e *Evaluator) GroupWindow(arr *array.Array) (nmin, nmax int, err error) {
 }
 
 // Decision is a controller's output for one control period.
+//
+// Config may alias the controller's internal scratch buffers: it is
+// valid until the controller's next Decide call, after which its
+// contents may be overwritten in place. A caller that retains a
+// configuration across periods (the simulator keeps the previous
+// topology for overhead pricing) must copy Config.Starts into storage
+// it owns.
 type Decision struct {
 	Config      array.Config  // configuration to apply for this period
 	Expected    float64       // controller's expected delivered power, W

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"tegrecon/internal/array"
-	"tegrecon/internal/teg"
 )
 
 // INOR is Algorithm 1 — Instantaneous Near-Optimal TEG Array
@@ -15,10 +14,11 @@ import (
 // greedily partitions the chain into groups of balanced summed MPP
 // current; the candidate with the highest converter-delivered MPP wins.
 // The partition is O(N) and the n-range is fixed by the converter, so
-// one invocation is O(N).
+// one invocation is O(N) — and, through the per-controller scratch,
+// allocation-free at steady state.
 type INOR struct {
 	eval *Evaluator
-	last *array.Config // previous decision, for Switched bookkeeping
+	sc   *scratch
 }
 
 // NewINOR builds the controller.
@@ -26,91 +26,42 @@ func NewINOR(eval *Evaluator) (*INOR, error) {
 	if eval == nil {
 		return nil, fmt.Errorf("core: nil evaluator")
 	}
-	return &INOR{eval: eval}, nil
+	return &INOR{eval: eval, sc: newScratch(eval)}, nil
 }
 
 // Name implements Controller.
 func (c *INOR) Name() string { return "INOR" }
 
-// Reset implements Controller.
-func (c *INOR) Reset() { c.last = nil }
+// Reset implements Controller. INOR is memoryless between periods (its
+// scratch buffers are fully overwritten each Decide), so there is no
+// state to clear.
+func (c *INOR) Reset() {}
 
 // Decide implements Controller: a full reconfiguration every period.
 // Per Section VI, INOR "switches at every time point" — every decision
 // is a fabric reprogram (Switched is always true) even when the computed
 // topology happens to match the incumbent; that unconditional actuation
-// is exactly the overhead DNOR eliminates.
+// is exactly the overhead DNOR eliminates. The returned Config aliases
+// the controller's scratch and is valid until the next Decide.
 func (c *INOR) Decide(tick int, tempsC []float64, ambientC float64) (Decision, error) {
 	start := time.Now()
-	cfg, op, err := c.eval.Configure(tempsC, ambientC)
+	cfg, op, err := c.eval.configureTempsAt(c.sc, tempsC, ambientC, false)
 	if err != nil {
 		return Decision{}, err
 	}
-	d := Decision{
+	return Decision{
 		Config:      cfg,
 		Expected:    op.Delivered,
 		Switched:    true,
 		ComputeTime: time.Since(start),
-	}
-	c.last = &cfg
-	return d, nil
+	}, nil
 }
 
 // Configure runs one INOR pass (the pure function INOR(Ti) of
 // Algorithm 1) and returns the winning configuration and its operating
 // point. It is exposed on Evaluator because DNOR reuses it verbatim.
+// The convenience form allocates its own work state; the deciders run
+// the identical search through their per-controller scratch.
 func (e *Evaluator) Configure(tempsC []float64, ambientC float64) (array.Config, Operating, error) {
-	ops := teg.OpsFromTemps(tempsC, ambientC)
-	arr, err := array.New(e.Spec, ops)
-	if err != nil {
-		return array.Config{}, Operating{}, err
-	}
-	return e.configureArray(arr, greedyPartition)
-}
-
-// configureArray searches the group-count window with the given
-// partition strategy; shared by INOR (greedy) and EHTR (DP).
-func (e *Evaluator) configureArray(arr *array.Array, partition func([]float64, int) ([]int, error)) (array.Config, Operating, error) {
-	nmin, nmax, err := e.GroupWindow(arr)
-	if err != nil {
-		// No EMF or no feasible window: park in the all-parallel
-		// configuration delivering nothing.
-		cfg := array.AllParallel(arr.N())
-		return cfg, Operating{}, nil
-	}
-	impp := arr.MPPCurrents()
-
-	var bestCfg, bestCleanCfg array.Config
-	var bestOp, bestCleanOp Operating
-	haveAny, haveClean := false, false
-	for n := nmin; n <= nmax; n++ {
-		starts, err := partition(impp, n)
-		if err != nil {
-			return array.Config{}, Operating{}, err
-		}
-		cfg, err := array.NewConfig(arr.N(), starts)
-		if err != nil {
-			return array.Config{}, Operating{}, err
-		}
-		op, err := e.Best(arr, cfg)
-		if err != nil {
-			return array.Config{}, Operating{}, err
-		}
-		if !haveAny || op.Delivered > bestOp.Delivered {
-			bestCfg, bestOp, haveAny = cfg, op, true
-		}
-		// The Fig. 3 current constraint: prefer configurations whose
-		// operating point drives no module in reverse.
-		if !op.Reverse && (!haveClean || op.Delivered > bestCleanOp.Delivered) {
-			bestCleanCfg, bestCleanOp, haveClean = cfg, op, true
-		}
-	}
-	if haveClean {
-		return bestCleanCfg, bestCleanOp, nil
-	}
-	if haveAny {
-		return bestCfg, bestOp, nil
-	}
-	cfg := array.AllParallel(arr.N())
-	return cfg, Operating{}, nil
+	return e.configureTempsAt(newScratch(e), tempsC, ambientC, false)
 }

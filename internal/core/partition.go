@@ -7,11 +7,32 @@ import (
 
 // prefixSums returns P with P[0]=0 and P[i] = Σ x[:i].
 func prefixSums(x []float64) []float64 {
-	p := make([]float64, len(x)+1)
-	for i, v := range x {
-		p[i+1] = p[i] + v
+	return prefixSumsInto(nil, x)
+}
+
+// prefixSumsInto is prefixSums writing into dst, reusing its backing
+// storage when the capacity suffices. The group-count search recomputes
+// the same prefix vector for every candidate n; the deciders hoist it
+// into their scratch instead.
+func prefixSumsInto(dst []float64, x []float64) []float64 {
+	if cap(dst) < len(x)+1 {
+		dst = make([]float64, len(x)+1)
 	}
-	return p
+	dst = dst[:len(x)+1]
+	dst[0] = 0
+	for i, v := range x {
+		dst[i+1] = dst[i] + v
+	}
+	return dst
+}
+
+// checkPartition validates a partition request of nMod modules into n
+// groups.
+func checkPartition(nMod, n int) error {
+	if n < 1 || n > nMod {
+		return fmt.Errorf("core: partition into %d groups of %d modules", n, nMod)
+	}
+	return nil
 }
 
 // greedyPartition implements the inner loop of Algorithm 1: split the
@@ -21,15 +42,26 @@ func prefixSums(x []float64) []float64 {
 // running target. O(N) via a monotone two-pointer walk over the prefix
 // sums. Every group receives at least one module.
 func greedyPartition(impp []float64, n int) ([]int, error) {
-	nMod := len(impp)
-	if n < 1 || n > nMod {
-		return nil, fmt.Errorf("core: partition into %d groups of %d modules", n, nMod)
+	if err := checkPartition(len(impp), n); err != nil {
+		return nil, err
 	}
 	starts := make([]int, n)
+	greedyPartitionInto(starts, prefixSums(impp))
+	return starts, nil
+}
+
+// greedyPartitionInto runs the greedy boundary walk over the
+// already-computed prefix sums p (p[0]=0, len(p) = nMod+1), writing the
+// n = len(starts) group starts into starts. The caller has validated
+// 1 ≤ n ≤ nMod; every entry of starts is overwritten, so the slice can
+// be reused across candidates without clearing.
+func greedyPartitionInto(starts []int, p []float64) {
+	n := len(starts)
+	nMod := len(p) - 1
+	starts[0] = 0
 	if n == 1 {
-		return starts, nil
+		return
 	}
-	p := prefixSums(impp)
 	iIdeal := p[nMod] / float64(n)
 	start := 0
 	for j := 1; j < n; j++ {
@@ -52,33 +84,65 @@ func greedyPartition(impp []float64, n int) ([]int, error) {
 		starts[j] = e
 		start = e
 	}
-	return starts, nil
 }
 
 // dpPartition is the exhaustive counterpart used by the EHTR
 // reconstruction: dynamic programming over all consecutive partitions
 // minimising Σ (groupSum − Iideal)². O(N²) per group count.
 func dpPartition(impp []float64, n int) ([]int, error) {
-	nMod := len(impp)
-	if n < 1 || n > nMod {
-		return nil, fmt.Errorf("core: partition into %d groups of %d modules", n, nMod)
+	if err := checkPartition(len(impp), n); err != nil {
+		return nil, err
 	}
 	starts := make([]int, n)
-	if n == 1 {
-		return starts, nil
+	var dp dpBuffers
+	if err := dp.partitionInto(starts, prefixSums(impp)); err != nil {
+		return nil, err
 	}
-	p := prefixSums(impp)
+	return starts, nil
+}
+
+// dpBuffers holds the dynamic-programming work arrays of dpPartition so
+// the EHTR decider (which runs the DP once per candidate group count,
+// every control period) can reuse them instead of reallocating
+// O(n·N) state per candidate.
+type dpBuffers struct {
+	prev, cur []float64
+	choice    [][]int32
+}
+
+// partitionInto is dpPartition over the already-computed prefix sums p,
+// writing the n = len(starts) group starts into starts and reusing the
+// receiver's work arrays. Stale buffer contents are harmless: prev/cur
+// are fully re-initialised per call and the reconstruction only reads
+// choice entries written by this call's forward pass.
+func (dp *dpBuffers) partitionInto(starts []int, p []float64) error {
+	n := len(starts)
+	nMod := len(p) - 1
+	starts[0] = 0
+	if n == 1 {
+		return nil
+	}
 	iIdeal := p[nMod] / float64(n)
 	const inf = 1e300
 
 	// cost[j][e]: minimal Σ deviation² splitting modules [0,e) into j
 	// groups. Rolling rows keep memory O(N).
-	prev := make([]float64, nMod+1)
-	cur := make([]float64, nMod+1)
+	if cap(dp.prev) < nMod+1 {
+		dp.prev = make([]float64, nMod+1)
+		dp.cur = make([]float64, nMod+1)
+	}
+	prev, cur := dp.prev[:nMod+1], dp.cur[:nMod+1]
 	// choice[j][e] records the argmin start of the last group.
-	choice := make([][]int32, n+1)
+	for len(dp.choice) < n+1 {
+		dp.choice = append(dp.choice, nil)
+	}
+	choice := dp.choice[:n+1]
 	for j := range choice {
-		choice[j] = make([]int32, nMod+1)
+		if cap(choice[j]) < nMod+1 {
+			choice[j] = make([]int32, nMod+1)
+			dp.choice[j] = choice[j]
+		}
+		choice[j] = choice[j][:nMod+1]
 	}
 	for e := 0; e <= nMod; e++ {
 		prev[e] = inf
@@ -113,12 +177,12 @@ func dpPartition(impp []float64, n int) ([]int, error) {
 	for j := n; j >= 2; j-- {
 		s := int(choice[j][e])
 		if s < 0 {
-			return nil, fmt.Errorf("core: DP reconstruction failed at group %d", j)
+			return fmt.Errorf("core: DP reconstruction failed at group %d", j)
 		}
 		starts[j-1] = s
 		e = s
 	}
-	return starts, nil
+	return nil
 }
 
 // partitionDeviation returns Σ (groupSum − total/n)² for a partition —

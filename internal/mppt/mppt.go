@@ -101,6 +101,23 @@ func New(opts Options) (*Tracker, error) {
 // reconfiguration, when the old current command is meaningless).
 func (t *Tracker) Reset() { t.ok = false }
 
+// Retune revalidates and installs new options and forgets the previous
+// operating point — equivalent to replacing the tracker with
+// New(opts), but reusing the existing allocation. The simulator retunes
+// after every topology change (each reconfiguration moves the search
+// window's short-circuit current), which for the always-switching
+// schemes means once per control period; reusing the tracker keeps that
+// off the heap.
+func (t *Tracker) Retune(opts Options) error {
+	if err := opts.Validate(); err != nil {
+		return err
+	}
+	t.opts = opts
+	t.last = 0
+	t.ok = false
+	return nil
+}
+
 // Track runs perturb-and-observe on f and returns the located operating
 // point. Tracking starts from the previous converged command when
 // available, otherwise from the midpoint of the current range.

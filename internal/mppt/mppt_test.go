@@ -189,3 +189,29 @@ func TestTrackIterationCap(t *testing.T) {
 		t.Errorf("iterations %d exceed cap", res.Iterations)
 	}
 }
+
+// TestRetuneMatchesNew proves a retuned tracker behaves exactly like a
+// freshly constructed one: the warm-start memory is forgotten and the
+// next Track converges identically.
+func TestRetuneMatchesNew(t *testing.T) {
+	f := func(i float64) float64 { return i * (10 - i) } // peak at 5
+	reused, err := New(DefaultOptions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused.Track(f) // leave warm-start state behind
+	if err := reused.Retune(DefaultOptions(12)); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(DefaultOptions(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := reused.Track(f), fresh.Track(f)
+	if got != want {
+		t.Fatalf("retuned track %+v, fresh track %+v", got, want)
+	}
+	if err := reused.Retune(Options{}); err == nil {
+		t.Fatal("Retune accepted invalid options")
+	}
+}

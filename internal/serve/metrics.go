@@ -42,41 +42,86 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// Stats is a point-in-time snapshot of the server's observable state —
+// the same numbers /metrics exposes, in struct form for embedding
+// consumers (the tegbench perf harness reads cache hits and simulated
+// ticks through it instead of scraping the Prometheus text).
+type Stats struct {
+	UptimeSeconds  float64 // seconds since the server started
+	QueueDepth     int64   // jobs waiting for an execution slot
+	ActiveSessions int     // jobs holding execution slots
+	ActiveStreams  int64   // live SSE streams
+	Runs           int64   // run requests accepted
+	Sweeps         int64   // sweep requests accepted
+	Computations   int64   // jobs actually simulated
+	Coalesced      int64   // requests that shared an in-flight computation
+	CacheHits      int64   // result cache hits
+	CacheMisses    int64   // result cache misses
+	CacheEntries   int     // results currently cached
+	CacheBytes     int64   // resident cached payload bytes
+	Ticks          int64   // control periods simulated across all jobs
+	TicksPerSecond float64 // lifetime mean simulated ticks per wall-clock second
+	CacheHitRatio  float64 // lifetime hit ratio, 0 when no lookups yet
+}
+
+// Stats snapshots the server's counters. The counters are independent
+// atomics, so the snapshot is per-field consistent, not a transaction.
+func (s *Server) Stats() Stats {
 	uptime := time.Since(s.met.start).Seconds()
 	hits, misses := s.cache.hits.Load(), s.cache.misses.Load()
-	hitRatio := 0.0
+	st := Stats{
+		UptimeSeconds:  uptime,
+		QueueDepth:     s.q.depth(),
+		ActiveSessions: s.q.active(),
+		ActiveStreams:  s.met.streams.Load(),
+		Runs:           s.met.runs.Load(),
+		Sweeps:         s.met.sweeps.Load(),
+		Computations:   s.met.computations.Load(),
+		Coalesced:      s.met.coalesced.Load(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheEntries:   s.cache.len(),
+		CacheBytes:     s.cache.size(),
+		Ticks:          s.met.ticks.Load(),
+	}
 	if hits+misses > 0 {
-		hitRatio = float64(hits) / float64(hits+misses)
+		st.CacheHitRatio = float64(hits) / float64(hits+misses)
 	}
-	ticks := s.met.ticks.Load()
-	ticksPerSec := 0.0
 	if uptime > 0 {
-		ticksPerSec = float64(ticks) / uptime
+		st.TicksPerSecond = float64(st.Ticks) / uptime
 	}
+	return st
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// One Stats snapshot feeds every row: the counters are independent
+	// atomics, so reading them twice would let derived values (the hit
+	// ratio, ticks/sec) disagree with the totals printed next to them.
+	// Only the static bounds are read from the config directly.
+	st := s.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	type row struct {
 		name, help, typ string
 		value           any
 	}
 	rows := []row{
-		{"tegserve_uptime_seconds", "Seconds since the server started.", "gauge", uptime},
-		{"tegserve_queue_depth", "Jobs waiting for an execution slot.", "gauge", s.q.depth()},
+		{"tegserve_uptime_seconds", "Seconds since the server started.", "gauge", st.UptimeSeconds},
+		{"tegserve_queue_depth", "Jobs waiting for an execution slot.", "gauge", st.QueueDepth},
 		{"tegserve_queue_capacity", "Maximum jobs allowed to wait for a slot (queue_depth's bound).", "gauge", s.cfg.MaxQueued},
 		{"tegserve_max_concurrent", "Maximum simultaneously executing jobs.", "gauge", cap(s.q.slots)},
-		{"tegserve_active_sessions", "Jobs holding execution slots right now.", "gauge", s.q.active()},
-		{"tegserve_active_streams", "Live SSE run streams.", "gauge", s.met.streams.Load()},
-		{"tegserve_runs_total", "Run requests accepted.", "counter", s.met.runs.Load()},
-		{"tegserve_sweeps_total", "Sweep requests accepted.", "counter", s.met.sweeps.Load()},
-		{"tegserve_computations_total", "Jobs actually simulated (not served from cache or coalesced).", "counter", s.met.computations.Load()},
-		{"tegserve_coalesced_total", "Requests that shared an identical in-flight computation.", "counter", s.met.coalesced.Load()},
-		{"tegserve_cache_hits_total", "Result cache hits.", "counter", hits},
-		{"tegserve_cache_misses_total", "Result cache misses.", "counter", misses},
-		{"tegserve_cache_entries", "Results currently cached.", "gauge", s.cache.len()},
-		{"tegserve_cache_bytes", "Resident bytes of cached result payloads.", "gauge", s.cache.size()},
-		{"tegserve_cache_hit_ratio", "Lifetime cache hit ratio.", "gauge", hitRatio},
-		{"tegserve_ticks_total", "Control periods simulated across all jobs.", "counter", ticks},
-		{"tegserve_ticks_per_second", "Lifetime mean simulated control periods per wall-clock second.", "gauge", ticksPerSec},
+		{"tegserve_active_sessions", "Jobs holding execution slots right now.", "gauge", st.ActiveSessions},
+		{"tegserve_active_streams", "Live SSE run streams.", "gauge", st.ActiveStreams},
+		{"tegserve_runs_total", "Run requests accepted.", "counter", st.Runs},
+		{"tegserve_sweeps_total", "Sweep requests accepted.", "counter", st.Sweeps},
+		{"tegserve_computations_total", "Jobs actually simulated (not served from cache or coalesced).", "counter", st.Computations},
+		{"tegserve_coalesced_total", "Requests that shared an identical in-flight computation.", "counter", st.Coalesced},
+		{"tegserve_cache_hits_total", "Result cache hits.", "counter", st.CacheHits},
+		{"tegserve_cache_misses_total", "Result cache misses.", "counter", st.CacheMisses},
+		{"tegserve_cache_entries", "Results currently cached.", "gauge", st.CacheEntries},
+		{"tegserve_cache_bytes", "Resident bytes of cached result payloads.", "gauge", st.CacheBytes},
+		{"tegserve_cache_hit_ratio", "Lifetime cache hit ratio.", "gauge", st.CacheHitRatio},
+		{"tegserve_ticks_total", "Control periods simulated across all jobs.", "counter", st.Ticks},
+		{"tegserve_ticks_per_second", "Lifetime mean simulated control periods per wall-clock second.", "gauge", st.TicksPerSecond},
 	}
 	for _, m := range rows {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)

@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestStatsSnapshot drives one computed run and one cached repeat
+// through the handler and checks the Stats snapshot agrees with the
+// /metrics counters: two runs accepted, one computation, one cache hit,
+// ticks flowing.
+func TestStatsSnapshot(t *testing.T) {
+	s := New(Config{})
+	body := `{"cycle":"nedc","scheme":"baseline","duration_s":30}`
+
+	for i := 0; i < 2; i++ {
+		req := httptest.NewRequest("POST", "/v1/runs", strings.NewReader(body))
+		rr := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rr, req)
+		if rr.Code != 200 {
+			t.Fatalf("request %d: status %d: %s", i, rr.Code, rr.Body.String())
+		}
+	}
+
+	st := s.Stats()
+	if st.Runs != 2 {
+		t.Errorf("Runs = %d, want 2", st.Runs)
+	}
+	if st.Computations != 1 {
+		t.Errorf("Computations = %d, want 1 (second request must be a cache hit)", st.Computations)
+	}
+	if st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Errorf("cache hits/misses = %d/%d, want 1/1", st.CacheHits, st.CacheMisses)
+	}
+	if st.CacheHitRatio != 0.5 {
+		t.Errorf("CacheHitRatio = %g, want 0.5", st.CacheHitRatio)
+	}
+	if st.CacheEntries != 1 {
+		t.Errorf("CacheEntries = %d, want 1", st.CacheEntries)
+	}
+	if st.Ticks <= 0 {
+		t.Errorf("Ticks = %d, want > 0", st.Ticks)
+	}
+	if st.UptimeSeconds <= 0 {
+		t.Errorf("UptimeSeconds = %g, want > 0", st.UptimeSeconds)
+	}
+	if st.QueueDepth != 0 || st.ActiveSessions != 0 {
+		t.Errorf("idle server reports depth %d, active %d", st.QueueDepth, st.ActiveSessions)
+	}
+}

@@ -84,8 +84,13 @@ func (b Batch) RunContext(ctx context.Context, jobs []Job) ([]*Result, error) {
 	}
 	results := make([]*Result, len(jobs))
 	if workers == 1 {
+		// One scratch threaded through the whole serial batch: buffers
+		// are reused run to run, never shared, and every run's output is
+		// scratch-free — so results stay bit-identical to fresh-scratch
+		// runs (TestBatchScratchReuseBitIdentical is the referee).
+		sc := newScratch()
 		for i, j := range jobs {
-			r, err := RunContext(ctx, j.Sys, j.Trace, j.Ctrl, j.Opts)
+			r, err := runContextWith(ctx, j.Sys, j.Trace, j.Ctrl, j.Opts, sc)
 			if err != nil {
 				return nil, jobError(i, j, err)
 			}
@@ -102,13 +107,16 @@ func (b Batch) RunContext(ctx context.Context, jobs []Job) ([]*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker scratch: reused across this worker's consecutive
+			// jobs, touched by no other goroutine.
+			sc := newScratch()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(jobs) || failed.Load() || ctx.Err() != nil {
 					return
 				}
 				j := jobs[i]
-				r, err := RunContext(ctx, j.Sys, j.Trace, j.Ctrl, j.Opts)
+				r, err := runContextWith(ctx, j.Sys, j.Trace, j.Ctrl, j.Opts, sc)
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)

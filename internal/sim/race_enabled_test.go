@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector instruments this build;
+// the allocation gate skips under it because instrumentation adds heap
+// traffic the production binary does not pay.
+const raceEnabled = true

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"tegrecon/internal/array"
+	"tegrecon/internal/converter"
+	"tegrecon/internal/teg"
+)
+
+// scratch is the per-session reusable work state of the tick loop:
+// every buffer Step needs — the module-bank temperature vector, the
+// noisy controller view, the operating points, the Thevenin equivalent,
+// the module currents of the efficiency accounting, the copy of the
+// previous topology and the delivered-power closure handed to the MPPT
+// — lives here and is overwritten in place each control period, so a
+// steady-state Step performs no heap allocation (see
+// BenchmarkSessionStep and TestSessionStepAllocationFree).
+//
+// Ownership: a scratch serves exactly one Session at a time and shares
+// its single-goroutine contract. The batch engine hands each worker one
+// scratch and threads it through that worker's consecutive runs
+// (newSessionWith), which is race-free — workers never share — and
+// bit-identical, because every field is fully rewritten before use and
+// no simulation output aliases scratch storage.
+type scratch struct {
+	temps      []float64            // true module hot-side temperatures, °C
+	sensed     []float64            // noisy controller view of temps
+	ops        []teg.OperatingPoint // plant operating points from temps
+	currents   []float64            // per-module currents for the efficiency accounting
+	prevStarts []int                // session-owned copy of the previous topology
+	eq         array.Equivalent     // Thevenin equivalent of the decided config
+	arr        array.Array          // plant array assembled in place over ops
+	conv       converter.Model      // this tick's converter (charge stage may retarget it)
+
+	// deliver is the converter-weighted delivered power at array output
+	// current i for the equivalent currently in eq — the P(I) objective
+	// the MPPT tracks. Built once per scratch so Track captures no
+	// per-tick closure.
+	deliver func(i float64) float64
+}
+
+// newScratch builds an empty scratch with its delivered-power closure
+// bound to the scratch's own equivalent and converter fields.
+func newScratch() *scratch {
+	sc := &scratch{}
+	sc.deliver = func(i float64) float64 {
+		v := sc.eq.VoltageAt(i)
+		return sc.conv.OutputPower(v, v*i)
+	}
+	return sc
+}
+
+// setPrev records cfg as the previous topology, copying its group
+// starts into session-owned storage: the controller's next Decide may
+// overwrite the buffer backing cfg (see core.Decision).
+func (sc *scratch) setPrev(cfg array.Config) array.Config {
+	sc.prevStarts = append(sc.prevStarts[:0], cfg.Starts...)
+	return array.Config{N: cfg.N, Starts: sc.prevStarts}
+}

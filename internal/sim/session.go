@@ -37,11 +37,10 @@ type Session struct {
 	faultTracker *faults.Tracker
 	tracker      *mppt.Tracker
 	trackerIdled bool
-	prevCfg      core.Decision
+	prev         array.Config // previous topology, session-owned copy
 	havePrev     bool
 	powerOn      array.Config
-	opsBuf       []teg.OperatingPoint // scratch reused across steps
-	sensed       []float64            // scratch: noisy controller view
+	sc           *scratch // reusable tick-loop work state (see scratch.go)
 
 	res          *Result
 	totalRuntime time.Duration
@@ -56,6 +55,14 @@ type Session struct {
 // at its initial state of charge, and the session clock at
 // opts.StartTime.
 func NewSession(sys *System, ctrl core.Controller, opts Options) (*Session, error) {
+	return newSessionWith(sys, ctrl, opts, newScratch())
+}
+
+// newSessionWith is NewSession over caller-supplied scratch storage —
+// the batch engine reuses one scratch per worker across that worker's
+// consecutive runs, so a long sweep's steady-state allocation cost is
+// one scratch per worker instead of one buffer set per run.
+func newSessionWith(sys *System, ctrl core.Controller, opts Options, sc *scratch) (*Session, error) {
 	if sys == nil {
 		return nil, fmt.Errorf("sim: nil system")
 	}
@@ -108,7 +115,7 @@ func NewSession(sys *System, ctrl core.Controller, opts Options) (*Session, erro
 		// topology pays its real toggle count instead of a zero-toggle
 		// no-op.
 		powerOn: array.AllParallel(sys.Modules),
-		sensed:  make([]float64, sys.Modules),
+		sc:      sc,
 		res:     &Result{Scheme: ctrl.Name()},
 	}, nil
 }
@@ -132,7 +139,9 @@ func (s *Session) Now() float64 {
 func (s *Session) Step(cond thermal.Conditions) (Tick, error) {
 	k := s.steps
 	now := s.Now()
-	temps, err := s.sys.Radiator.ModuleTemps(cond, s.sys.Modules)
+	sc := s.sc
+	var err error
+	sc.temps, err = s.sys.Radiator.ModuleTempsInto(sc.temps, cond, s.sys.Modules)
 	if err != nil {
 		return Tick{}, fmt.Errorf("sim: t=%g: %w", now, err)
 	}
@@ -143,16 +152,20 @@ func (s *Session) Step(cond thermal.Conditions) (Tick, error) {
 			return Tick{}, err
 		}
 	}
-	for i, tv := range temps {
-		s.sensed[i] = tv + s.rng.NormFloat64()*s.opts.SensorNoiseC
+	if cap(sc.sensed) < len(sc.temps) {
+		sc.sensed = make([]float64, len(sc.temps))
+	}
+	sc.sensed = sc.sensed[:len(sc.temps)]
+	for i, tv := range sc.temps {
+		sc.sensed[i] = tv + s.rng.NormFloat64()*s.opts.SensorNoiseC
 		if health != nil && health[i] != array.Healthy {
 			// Fault detection: the controller sees a dead module as one
 			// at ambient (zero harvestable ΔT).
-			s.sensed[i] = cond.AirInletC
+			sc.sensed[i] = cond.AirInletC
 		}
 	}
 
-	dec, err := s.ctrl.Decide(k, s.sensed, cond.AirInletC)
+	dec, err := s.ctrl.Decide(k, sc.sensed, cond.AirInletC)
 	if err != nil {
 		return Tick{}, fmt.Errorf("sim: %s at t=%g: %w", s.ctrl.Name(), now, err)
 	}
@@ -161,14 +174,15 @@ func (s *Session) Step(cond thermal.Conditions) (Tick, error) {
 		computeTime = 0
 	}
 
-	// Plant: true temperatures (and true health), chosen config.
-	s.opsBuf = teg.OpsFromTempsInto(s.opsBuf, temps, cond.AirInletC)
-	arr, err := array.NewWithHealth(s.sys.Spec, s.opsBuf, health)
-	if err != nil {
-		return Tick{}, err
-	}
-	eq, err := arr.Equivalent(dec.Config)
-	if err != nil {
+	// Plant: true temperatures (and true health), chosen config. The
+	// array is assembled in place over the scratch: the spec was
+	// validated by NewSession and the fault tracker's module count
+	// against the system's, so the array.NewWithHealth checks hold by
+	// construction.
+	sc.ops = teg.OpsFromTempsInto(sc.ops, sc.temps, cond.AirInletC)
+	sc.arr = array.Array{Spec: s.sys.Spec, Ops: sc.ops, Health: health}
+	arr := &sc.arr
+	if err := arr.EquivalentInto(&sc.eq, dec.Config); err != nil {
 		return Tick{}, fmt.Errorf("sim: %s produced bad config at t=%g: %w", s.ctrl.Name(), now, err)
 	}
 	// The charger's P&O search window spans the configuration's
@@ -177,12 +191,12 @@ func (s *Session) Step(cond thermal.Conditions) (Tick, error) {
 	// the switch accounting charges). The charging stage (when
 	// scheduled) retargets the converter's output voltage, shifting its
 	// efficiency peak.
-	conv := s.sys.Conv
+	sc.conv = s.sys.Conv
 	if s.opts.ChargeProfile != nil {
-		conv.OutputVoltage = s.opts.ChargeProfile.TargetVoltage(s.bat.SoC)
+		sc.conv.OutputVoltage = s.opts.ChargeProfile.TargetVoltage(s.bat.SoC)
 	}
 	var gross, opCurrent float64
-	usable := !eq.Broken && eq.Voc > 0 && eq.R > 0
+	usable := !sc.eq.Broken && sc.eq.Voc > 0 && sc.eq.R > 0
 	if usable {
 		// A topology change cold-restarts the tracker, and so does any
 		// recovery from an unusable circuit (a broken chain, or a
@@ -190,18 +204,20 @@ func (s *Session) Step(cond thermal.Conditions) (Tick, error) {
 		// was suspended the tracker slept on whatever circuit preceded
 		// the outage, so its search window's short-circuit current is
 		// stale and can clamp the recovered array far below its MPP.
+		// The tracker object itself is reused (Retune) — a cold restart
+		// resets its state, not its storage.
 		if s.tracker == nil || dec.Switched || s.trackerIdled {
-			isc := eq.Voc / eq.R
-			s.tracker, err = mppt.New(mppt.DefaultOptions(isc))
+			isc := sc.eq.Voc / sc.eq.R
+			if s.tracker == nil {
+				s.tracker, err = mppt.New(mppt.DefaultOptions(isc))
+			} else {
+				err = s.tracker.Retune(mppt.DefaultOptions(isc))
+			}
 			if err != nil {
 				return Tick{}, err
 			}
 		}
-		delivered := func(i float64) float64 {
-			v := eq.VoltageAt(i)
-			return conv.OutputPower(v, v*i)
-		}
-		op := s.tracker.Track(delivered)
+		op := s.tracker.Track(sc.deliver)
 		gross, opCurrent = op.Power, op.Current
 	}
 	s.trackerIdled = !usable
@@ -218,7 +234,7 @@ func (s *Session) Step(cond thermal.Conditions) (Tick, error) {
 	if dec.Switched {
 		prev := s.powerOn
 		if s.havePrev {
-			prev = s.prevCfg.Config
+			prev = s.prev
 		}
 		cost, err := s.sys.Overhead.ForcedCost(prev, dec.Config, gross, computeTime)
 		if err != nil {
@@ -234,7 +250,8 @@ func (s *Session) Step(cond thermal.Conditions) (Tick, error) {
 
 	tegEff := 0.0
 	if gross > 0 {
-		tegEff, err = arr.ConversionEfficiency(dec.Config, opCurrent)
+		sc.currents = arr.ModuleCurrentsInto(sc.currents, sc.eq, dec.Config, opCurrent)
+		tegEff, err = arr.ConversionEfficiencyAt(sc.eq, dec.Config, opCurrent, sc.currents)
 		if err != nil {
 			return Tick{}, err
 		}
@@ -285,7 +302,10 @@ func (s *Session) Step(cond thermal.Conditions) (Tick, error) {
 		s.effSum += tegEff
 		s.effN++
 	}
-	s.prevCfg = dec
+	// Copy the decided topology into session-owned storage: the
+	// controller's next Decide may overwrite the buffer backing
+	// dec.Config (core.Decision's aliasing contract).
+	s.prev = sc.setPrev(dec.Config)
 	s.havePrev = true
 	s.steps++
 
@@ -318,6 +338,16 @@ func (s *Session) Result() *Result {
 // the old `<= 0` check and poison the tick count), non-finite or
 // negative sensor noise, a non-finite session clock origin, a negative
 // worker bound, and a charge profile without the battery it drives.
+//
+// Memory contract (KeepTicks / OnTick): a run's resident cost is
+// O(duration) only when KeepTicks is true — every Tick is then buffered
+// into Result.Ticks. With KeepTicks false the engine allocates no tick
+// slice at all (Result.Ticks stays nil) and a summary-only run is O(1)
+// memory regardless of length; OnTick still observes every record as it
+// is produced, so streaming consumers lose nothing. Any KeepTicks/OnTick
+// combination is valid, so Validate never rejects one — the contract is
+// stated here because this is where Options semantics are checked and
+// documented.
 func (o Options) Validate() error {
 	if math.IsNaN(o.TickSeconds) || math.IsInf(o.TickSeconds, 0) || o.TickSeconds <= 0 {
 		return fmt.Errorf("sim: tick period %g is not a positive finite number of seconds", o.TickSeconds)

@@ -171,11 +171,18 @@ func Run(sys *System, tr *trace.Trace, ctrl core.Controller, opts Options) (*Res
 // control period, so a cancel aborts within one tick of the simulated
 // loop and the returned error wraps ctx.Err().
 func RunContext(ctx context.Context, sys *System, tr *trace.Trace, ctrl core.Controller, opts Options) (*Result, error) {
+	return runContextWith(ctx, sys, tr, ctrl, opts, newScratch())
+}
+
+// runContextWith is RunContext over caller-supplied scratch storage;
+// the batch engine threads one scratch per worker through consecutive
+// runs (see scratch.go for why that is race-free and bit-identical).
+func runContextWith(ctx context.Context, sys *System, tr *trace.Trace, ctrl core.Controller, opts Options, sc *scratch) (*Result, error) {
 	if tr == nil || tr.Len() < 2 {
 		return nil, fmt.Errorf("sim: trace too short")
 	}
 	opts.StartTime = tr.Times[0]
-	sess, err := NewSession(sys, ctrl, opts)
+	sess, err := newSessionWith(sys, ctrl, opts, sc)
 	if err != nil {
 		return nil, err
 	}

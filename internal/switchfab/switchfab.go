@@ -60,25 +60,42 @@ func States(cfg array.Config) ([]BoundaryState, error) {
 // required to move the fabric from cfg a to cfg b. A boundary that flips
 // wiring style actuates all three of its switches (one opens/two close
 // or vice versa).
+//
+// A boundary is Series exactly when it precedes a group start, so the
+// toggled boundaries are the symmetric difference of the two configs'
+// group-start sets. Both Starts slices are strictly increasing, so a
+// merge walk counts the difference without materialising the per-boundary
+// state vectors — this runs on the simulator's per-tick overhead
+// accounting path and must not allocate.
 func SwitchToggles(a, b array.Config) (int, error) {
 	if a.N != b.N {
 		return 0, fmt.Errorf("switchfab: configs for %d and %d modules", a.N, b.N)
 	}
-	sa, err := States(a)
-	if err != nil {
+	if err := a.Validate(); err != nil {
 		return 0, err
 	}
-	sb, err := States(b)
-	if err != nil {
+	if err := b.Validate(); err != nil {
 		return 0, err
 	}
-	toggles := 0
-	for i := range sa {
-		if sa[i] != sb[i] {
-			toggles += 3
+	// Starts[0] is always 0 on both sides (module 0 has no preceding
+	// boundary), so the walk starts past it.
+	sa, sb := a.Starts[1:], b.Starts[1:]
+	i, j, diff := 0, 0, 0
+	for i < len(sa) && j < len(sb) {
+		switch {
+		case sa[i] == sb[j]:
+			i++
+			j++
+		case sa[i] < sb[j]:
+			diff++
+			i++
+		default:
+			diff++
+			j++
 		}
 	}
-	return toggles, nil
+	diff += len(sa) - i + len(sb) - j
+	return 3 * diff, nil
 }
 
 // OverheadModel holds the per-reconfiguration cost parameters

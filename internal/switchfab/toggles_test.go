@@ -1,0 +1,73 @@
+package switchfab
+
+import (
+	"math/rand"
+	"testing"
+
+	"tegrecon/internal/array"
+)
+
+// statesToggles is the pre-optimisation reference implementation: derive
+// both boundary-state vectors and count differing boundaries.
+func statesToggles(t *testing.T, a, b array.Config) int {
+	t.Helper()
+	sa, err := States(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := States(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for i := range sa {
+		if sa[i] != sb[i] {
+			n += 3
+		}
+	}
+	return n
+}
+
+func randomToggleConfig(rng *rand.Rand, n int) array.Config {
+	starts := []int{0}
+	for i := 1; i < n; i++ {
+		if rng.Float64() < 0.3 {
+			starts = append(starts, i)
+		}
+	}
+	return array.Config{N: n, Starts: starts}
+}
+
+// TestSwitchTogglesMatchesStatesReference proves the allocation-free
+// merge walk counts exactly what the boundary-state comparison counts,
+// across random configuration pairs and the degenerate extremes.
+func TestSwitchTogglesMatchesStatesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + rng.Intn(60)
+		a := randomToggleConfig(rng, n)
+		b := randomToggleConfig(rng, n)
+		want := statesToggles(t, a, b)
+		got, err := SwitchToggles(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: %s -> %s: merge walk %d, reference %d", trial, a, b, got, want)
+		}
+	}
+	// Extremes: all-series vs all-parallel flips every boundary.
+	n := 17
+	got, err := SwitchToggles(array.AllSeries(n), array.AllParallel(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * (n - 1); got != want {
+		t.Fatalf("all-series vs all-parallel: %d toggles, want %d", got, want)
+	}
+	// Identity costs nothing.
+	cfg := randomToggleConfig(rng, n)
+	if got, _ := SwitchToggles(cfg, cfg); got != 0 {
+		t.Fatalf("identical configs toggled %d switches", got)
+	}
+}

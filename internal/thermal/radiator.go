@@ -166,6 +166,15 @@ func (r *Radiator) Solve(c Conditions) (Distribution, error) {
 // modules spaced uniformly along the path, evaluated at the module
 // centres. This is the T(i) of Section III.A.
 func (r *Radiator) ModuleTemps(c Conditions, n int) ([]float64, error) {
+	return r.ModuleTempsInto(nil, c, n)
+}
+
+// ModuleTempsInto is ModuleTemps writing into dst, reusing its backing
+// storage when the capacity suffices. The simulation engine evaluates
+// one temperature distribution per control period, so the per-tick
+// allocation here used to be the first heap hit of every Session.Step;
+// a preallocated module-bank buffer removes it.
+func (r *Radiator) ModuleTempsInto(dst []float64, c Conditions, n int) ([]float64, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("thermal: non-positive module count %d", n)
 	}
@@ -173,12 +182,15 @@ func (r *Radiator) ModuleTemps(c Conditions, n int) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, n)
-	pitch := r.PathLength / float64(n)
-	for i := range out {
-		out[i] = dist.TempAt((float64(i) + 0.5) * pitch)
+	if cap(dst) < n {
+		dst = make([]float64, n)
 	}
-	return out, nil
+	dst = dst[:n]
+	pitch := r.PathLength / float64(n)
+	for i := range dst {
+		dst[i] = dist.TempAt((float64(i) + 0.5) * pitch)
+	}
+	return dst, nil
 }
 
 // HeatDuty returns the total heat rejected by the radiator (W) under the

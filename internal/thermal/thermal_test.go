@@ -346,3 +346,37 @@ func TestSolveEqualTemperaturesGiveFlatProfile(t *testing.T) {
 		}
 	}
 }
+
+// TestModuleTempsIntoMatches proves the buffer-reusing form equals
+// ModuleTemps bit for bit, including when the destination carries stale
+// values or excess capacity.
+func TestModuleTempsIntoMatches(t *testing.T) {
+	r := DefaultRadiator()
+	c := Conditions{CoolantInletC: 95, CoolantFlowKgS: 0.12, AirInletC: 25, AirFlowKgS: 0.8}
+	want, err := r.ModuleTemps(c, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 7, 150)
+	for i := range buf {
+		buf[i] = -999
+	}
+	got, err := r.ModuleTempsInto(buf, c, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d vs %d temps", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("module %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("ModuleTempsInto did not reuse the provided backing array")
+	}
+	if _, err := r.ModuleTempsInto(nil, c, 0); err == nil {
+		t.Fatal("accepted non-positive module count")
+	}
+}

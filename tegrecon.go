@@ -117,6 +117,14 @@ func SynthesizeFromSchedule(cfg DriveConfig, s DriveSchedule) (*Trace, error) {
 }
 
 // Simulate runs one controller over a drive trace on the given system.
+//
+// Memory contract: with SimOptions.KeepTicks true (the default) the
+// result buffers one SimTick per control period — O(duration) resident
+// memory. With KeepTicks false no tick slice is allocated at all
+// (SimResult.Ticks stays nil) and the run is O(1) memory regardless of
+// length; SimOptions.OnTick still observes every tick as it is
+// produced, so streaming consumers pair KeepTicks=false with an OnTick
+// callback and lose nothing but the retained buffer.
 func Simulate(sys *System, tr *Trace, ctrl Controller, opts SimOptions) (*SimResult, error) {
 	return sim.Run(sys, tr, ctrl, opts)
 }
@@ -134,7 +142,9 @@ func SimulateContext(ctx context.Context, sys *System, tr *Trace, ctrl Controlle
 // telemetry, a replayed trace, or a test harness. Call Step once per
 // period and Result to read (or checkpoint) the aggregate summary; set
 // SimOptions.OnTick to stream per-period records and
-// SimOptions.KeepTicks = false to drop the O(duration) tick buffer.
+// SimOptions.KeepTicks = false to drop the O(duration) tick buffer
+// entirely (no tick slice is ever allocated — a summary-only session is
+// O(1) memory no matter how long it runs).
 func NewSession(sys *System, ctrl Controller, opts SimOptions) (*Session, error) {
 	return sim.NewSession(sys, ctrl, opts)
 }
