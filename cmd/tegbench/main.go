@@ -6,12 +6,13 @@
 //
 // Usage:
 //
-//	tegbench [-quick] [-pr 5] [-out BENCH_5.json] [-budget bench_budget.json]
+//	tegbench [-quick] [-pr 6] [-out BENCH_6.json] [-budget bench_budget.json] [-require-clean]
 //
 // -quick shrinks drive durations and iteration counts for CI; -out
 // writes the JSON to a file instead of stdout; -budget reads a budget
-// file (see below) and exits non-zero when the measured session_step
-// numbers exceed it.
+// file (see below) and exits non-zero when the measured numbers exceed
+// it; -require-clean refuses to measure a dirty working tree at all, so
+// a committed BENCH file can never carry "git_dirty": true by accident.
 //
 // The fixed suite:
 //
@@ -21,8 +22,19 @@
 //	                    drive (dnor, inor, ehtr, baseline)
 //	scaling_inor_n<N>   a single INOR decision at N = 100, 200, 400, 800
 //	scaling_ehtr_n100   the O(N³) reconstruction at N = 100
+//	fleet_step_m64      one lockstep control period of a 64-member INOR
+//	                    fleet (ticks_per_sec counts member-ticks): the
+//	                    digital-twin fleet-mode unit cost and the fleet
+//	                    engine's zero-allocation gate
 //	sweep_throughput    the full cycle × scheme scenario sweep on the
-//	                    parallel batch engine (aggregate ticks/sec)
+//	                    batch engine with default routing (StepAuto →
+//	                    lockstep fleets, all cores; aggregate ticks/sec)
+//	sweep_batched_throughput
+//	                    the same sweep forced through one serial
+//	                    lockstep fleet per cycle (Workers=1,
+//	                    StepLockstep) — the batched engine's own
+//	                    throughput with no worker-pool scheduling in
+//	                    the number
 //	serve_cache_hit     a POST /v1/runs answered from the result cache —
 //	                    the steady-state cost of a repeated request
 //
@@ -52,12 +64,13 @@
 //	}
 //
 // Budget file schema (-budget): a JSON object whose present fields are
-// enforced against the session_step result:
+// enforced against the measured results:
 //
 //	{
-//	  "session_step_max_allocs_per_op": 0,
-//	  "session_step_max_bytes_per_op":  64,
-//	  "session_step_max_ns_per_op":     0        // 0 = not enforced
+//	  "session_step_max_allocs_per_op":    0,
+//	  "session_step_max_bytes_per_op":     64,
+//	  "session_step_max_ns_per_op":        0,    // 0 = not enforced
+//	  "sweep_throughput_min_ticks_per_sec": 1100 // 0 = not enforced
 //	}
 package main
 
@@ -112,21 +125,24 @@ type Document struct {
 	Results       []Result `json:"results"`
 }
 
-// Budget is the enforced floor for the session_step suite.
+// Budget is the enforced envelope: allocation ceilings for the
+// session_step suite and a throughput floor for the sweep.
 type Budget struct {
-	SessionStepMaxAllocsPerOp *int64  `json:"session_step_max_allocs_per_op"`
-	SessionStepMaxBytesPerOp  *int64  `json:"session_step_max_bytes_per_op"`
-	SessionStepMaxNsPerOp     float64 `json:"session_step_max_ns_per_op"`
+	SessionStepMaxAllocsPerOp     *int64  `json:"session_step_max_allocs_per_op"`
+	SessionStepMaxBytesPerOp      *int64  `json:"session_step_max_bytes_per_op"`
+	SessionStepMaxNsPerOp         float64 `json:"session_step_max_ns_per_op"`
+	SweepThroughputMinTicksPerSec float64 `json:"sweep_throughput_min_ticks_per_sec"`
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tegbench: ")
 	var (
-		quick      = flag.Bool("quick", false, "shrink durations and iteration counts (CI mode)")
-		out        = flag.String("out", "", "write the JSON document to this file instead of stdout")
-		pr         = flag.Int("pr", 0, "PR number stamped into the document")
-		budgetPath = flag.String("budget", "", "budget JSON enforced against session_step; non-zero exit on violation")
+		quick        = flag.Bool("quick", false, "shrink durations and iteration counts (CI mode)")
+		out          = flag.String("out", "", "write the JSON document to this file instead of stdout")
+		pr           = flag.Int("pr", 0, "PR number stamped into the document")
+		budgetPath   = flag.String("budget", "", "budget JSON enforced against the results; non-zero exit on violation")
+		requireClean = flag.Bool("require-clean", false, "refuse to run when the working tree has uncommitted changes")
 	)
 	flag.Parse()
 
@@ -140,6 +156,9 @@ func main() {
 		Timestamp:     time.Now().UTC().Format(time.RFC3339),
 	}
 	doc.GitSHA, doc.GitDirty = gitState()
+	if *requireClean && doc.GitDirty {
+		log.Fatalf("working tree has uncommitted changes (commit or stash before measuring; see `git status`)")
+	}
 
 	runDur, sweepCap := 120.0, 120.0
 	if *quick {
@@ -160,7 +179,9 @@ func main() {
 		{"scaling_inor_n400", func() (Result, error) { return benchDecide(400, false) }},
 		{"scaling_inor_n800", func() (Result, error) { return benchDecide(800, false) }},
 		{"scaling_ehtr_n100", func() (Result, error) { return benchDecide(100, true) }},
-		{"sweep_throughput", func() (Result, error) { return benchSweep(sweepCap) }},
+		{"fleet_step_m64", func() (Result, error) { return benchFleetStep(64, runDur) }},
+		{"sweep_throughput", func() (Result, error) { return benchSweep(sweepCap, 0, sim.StepAuto) }},
+		{"sweep_batched_throughput", func() (Result, error) { return benchSweep(sweepCap, 1, sim.StepLockstep) }},
 		{"serve_cache_hit", benchServeCacheHit},
 	}
 	for _, s := range suites {
@@ -196,13 +217,16 @@ func main() {
 }
 
 // gitState reports the checked-out commit and whether the tree carries
-// uncommitted changes; "unknown" when git is unavailable.
+// uncommitted changes; "unknown" when git is unavailable. Untracked
+// files are not "dirty": they cannot alter the measured build, and
+// counting them is how BENCH_5.json came to record a dirty tree for a
+// clean build (the not-yet-added BENCH file itself tripped the flag).
 func gitState() (sha string, dirty bool) {
 	rev, err := exec.Command("git", "rev-parse", "HEAD").Output()
 	if err != nil {
 		return "unknown", false
 	}
-	status, err := exec.Command("git", "status", "--porcelain").Output()
+	status, err := exec.Command("git", "status", "--porcelain", "--untracked-files=no").Output()
 	return strings.TrimSpace(string(rev)), err == nil && len(bytes.TrimSpace(status)) > 0
 }
 
@@ -237,6 +261,21 @@ func enforceBudget(path string, doc Document) error {
 	}
 	if b.SessionStepMaxNsPerOp > 0 && step.NsPerOp > b.SessionStepMaxNsPerOp {
 		return fmt.Errorf("session_step ns/op %.0f exceeds budget %.0f", step.NsPerOp, b.SessionStepMaxNsPerOp)
+	}
+	if b.SweepThroughputMinTicksPerSec > 0 {
+		var sweep *Result
+		for i := range doc.Results {
+			if doc.Results[i].Name == "sweep_throughput" {
+				sweep = &doc.Results[i]
+			}
+		}
+		if sweep == nil {
+			return fmt.Errorf("no sweep_throughput result to enforce against")
+		}
+		if sweep.TicksPerSec < b.SweepThroughputMinTicksPerSec {
+			return fmt.Errorf("sweep_throughput %.0f ticks/sec below floor %.0f",
+				sweep.TicksPerSec, b.SweepThroughputMinTicksPerSec)
+		}
 	}
 	return nil
 }
@@ -394,15 +433,89 @@ func benchDecide(n int, ehtr bool) (Result, error) {
 	return fromBenchmark(br), nil
 }
 
+// benchFleetStep measures one steady-state lockstep control period of
+// an m-member INOR fleet sharing one plant and one set of boundary
+// conditions — the sweep's inner shape and the digital-twin fleet-mode
+// unit cost. The reported ticks_per_sec counts member-ticks, so it is
+// directly comparable to session_step: the gap between the two is what
+// the shared phase loops and the phase-1 radiator dedup buy.
+func benchFleetStep(m int, seconds float64) (Result, error) {
+	s, err := benchSetup(seconds)
+	if err != nil {
+		return Result{}, err
+	}
+	conds1, err := preparedConds(s)
+	if err != nil {
+		return Result{}, err
+	}
+	opts := s.Opts
+	opts.DeterministicRuntime = true
+	opts.KeepTicks = false
+	fjobs := make([]sim.FleetJob, m)
+	for i := range fjobs {
+		o := opts
+		o.Seed = int64(i + 1)
+		ctrl, err := s.NewINOR()
+		if err != nil {
+			return Result{}, err
+		}
+		fjobs[i] = sim.FleetJob{Sys: s.Sys, Ctrl: ctrl, Opts: o}
+	}
+	f, err := sim.NewFleet(fjobs)
+	if err != nil {
+		return Result{}, err
+	}
+	conds := make([]thermal.Conditions, m)
+	step := func(k int) error {
+		for i := range conds {
+			conds[i] = conds1[k%len(conds1)]
+		}
+		if i, err := f.Step(conds); err != nil {
+			return fmt.Errorf("member %d: %w", i, err)
+		}
+		return nil
+	}
+	// Warmup: one full pass grows every member's scratch to steady state.
+	for k := range conds1 {
+		if err := step(k); err != nil {
+			return Result{}, err
+		}
+	}
+	var stepErr error
+	k := 0
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			if err := step(k); err != nil {
+				stepErr = err
+				b.FailNow()
+			}
+			k++
+		}
+	})
+	if stepErr != nil {
+		return Result{}, stepErr
+	}
+	r := fromBenchmark(br)
+	if r.NsPerOp > 0 {
+		r.TicksPerSec = float64(m) * 1e9 / r.NsPerOp
+	}
+	return r, nil
+}
+
 // benchSweep runs the whole cycle × scheme scenario matrix on the
-// parallel batch engine and reports aggregate simulated ticks/sec —
-// the service's bulk-throughput number.
-func benchSweep(maxDuration float64) (Result, error) {
+// batch engine and reports aggregate simulated ticks/sec — the
+// service's bulk-throughput number. workers and stepping select the
+// engine: (0, StepAuto) is the default path users get (lockstep fleets
+// chunked across all cores); (1, StepLockstep) isolates one serial
+// fleet per cycle, the batched engine's own throughput.
+func benchSweep(maxDuration float64, workers int, stepping sim.Stepping) (Result, error) {
 	s, err := benchSetup(60) // sweep synthesises its own cycle traces
 	if err != nil {
 		return Result{}, err
 	}
-	s.Opts.Workers = 0 // all cores
+	s.Opts.Workers = workers
+	s.Opts.Stepping = stepping
 	s.Opts.DeterministicRuntime = true
 	s.Opts.KeepTicks = false
 	var ticks atomic.Int64

@@ -88,55 +88,82 @@ func greedyPartitionInto(starts []int, p []float64) {
 
 // dpPartition is the exhaustive counterpart used by the EHTR
 // reconstruction: dynamic programming over all consecutive partitions
-// minimising Σ (groupSum − Iideal)². O(N²) per group count.
+// minimising Σ (groupSum − Iideal)². Because the total Σ groupSum is the
+// same for every partition, that objective equals Σ groupSum² − total²/n,
+// so ranking partitions by Σ groupSum² gives the same optima — and that
+// cost does not depend on the group count n. The DP therefore fills one
+// shared table whose rows serve every candidate n (tableInto), and each
+// group count is read off by a backward walk (reconstructInto).
 func dpPartition(impp []float64, n int) ([]int, error) {
 	if err := checkPartition(len(impp), n); err != nil {
 		return nil, err
 	}
 	starts := make([]int, n)
 	var dp dpBuffers
-	if err := dp.partitionInto(starts, prefixSums(impp)); err != nil {
+	if err := dp.tableInto(prefixSums(impp), n); err != nil {
+		return nil, err
+	}
+	if err := dp.reconstructInto(starts); err != nil {
 		return nil, err
 	}
 	return starts, nil
 }
 
-// dpBuffers holds the dynamic-programming work arrays of dpPartition so
-// the EHTR decider (which runs the DP once per candidate group count,
-// every control period) can reuse them instead of reallocating
-// O(n·N) state per candidate.
+// dpBuffers holds the shared dynamic-programming table of the exhaustive
+// partitioner. The EHTR decider builds the table once per control period
+// (tableInto up to the largest candidate group count) and reconstructs
+// each candidate from it, reusing these arrays so the steady-state
+// decision path allocates nothing.
 type dpBuffers struct {
 	prev, cur []float64
 	choice    [][]int32
+	stack     []dcRange
+	nMod      int // module count of the last tableInto build
+	rows      int // group-count rows of the last tableInto build
 }
 
-// partitionInto is dpPartition over the already-computed prefix sums p,
-// writing the n = len(starts) group starts into starts and reusing the
-// receiver's work arrays. Stale buffer contents are harmless: prev/cur
-// are fully re-initialised per call and the reconstruction only reads
-// choice entries written by this call's forward pass.
-func (dp *dpBuffers) partitionInto(starts []int, p []float64) error {
-	n := len(starts)
-	nMod := len(p) - 1
-	starts[0] = 0
-	if n == 1 {
-		return nil
-	}
-	iIdeal := p[nMod] / float64(n)
-	const inf = 1e300
+// dcRange is one node of the divide-and-conquer row solve in tableInto:
+// boundaries [elo, ehi] whose argmin starts are known to lie in
+// [slo, shi].
+type dcRange struct{ elo, ehi, slo, shi int32 }
 
-	// cost[j][e]: minimal Σ deviation² splitting modules [0,e) into j
-	// groups. Rolling rows keep memory O(N).
+// tableInto fills the DP table over the already-computed prefix sums p
+// (p[0]=0, len(p) = nMod+1) for every group count up to nmax.
+// Row j, entry e holds the minimal Σ groupSum² splitting modules [0,e)
+// into j consecutive non-empty groups; choice[j][e] records the leftmost
+// argmin start of the last group, which is all reconstruction needs.
+//
+// Each row is solved by monotone divide-and-conquer: the row cost
+// prev[s] + (p[e]−p[s])² satisfies the quadrangle inequality (a convex
+// function of the difference of two non-decreasing prefix sums), so the
+// leftmost argmin — exactly what an ascending scan with a strict `<`
+// keeps — is non-decreasing in e. Solving the middle boundary pins the
+// argmin windows of the two halves, turning the quadratic row scan into
+// O(N log N). Inside each window the comparisons, tie-breaks and
+// floating-point sums are the ones the full scan would have made, so the
+// chosen starts are bit-identical to the quadratic reference
+// (TestDPTableMatchesNaive is the referee).
+func (dp *dpBuffers) tableInto(p []float64, nmax int) error {
+	nMod := len(p) - 1
+	if err := checkPartition(nMod, nmax); err != nil {
+		return err
+	}
+	dp.nMod, dp.rows = nMod, nmax
+
+	// Rolling value rows keep the cost memory O(N); only choice is
+	// retained per row. Stale contents are harmless: row j only reads
+	// prev[s] for s ∈ [j−1, e−1], all written by row j−1 (or row 1's
+	// special case), and reconstruction only reads choice entries
+	// written by this call.
 	if cap(dp.prev) < nMod+1 {
 		dp.prev = make([]float64, nMod+1)
 		dp.cur = make([]float64, nMod+1)
 	}
 	prev, cur := dp.prev[:nMod+1], dp.cur[:nMod+1]
-	// choice[j][e] records the argmin start of the last group.
-	for len(dp.choice) < n+1 {
+	for len(dp.choice) < nmax+1 {
 		dp.choice = append(dp.choice, nil)
 	}
-	choice := dp.choice[:n+1]
+	choice := dp.choice[:nmax+1]
 	for j := range choice {
 		if cap(choice[j]) < nMod+1 {
 			choice[j] = make([]int32, nMod+1)
@@ -144,39 +171,66 @@ func (dp *dpBuffers) partitionInto(starts []int, p []float64) error {
 		}
 		choice[j] = choice[j][:nMod+1]
 	}
-	for e := 0; e <= nMod; e++ {
-		prev[e] = inf
+
+	// Row 1: a single group [0, e) — no scan, the only start is 0.
+	for e := 1; e <= nMod; e++ {
+		d := p[e] - p[0]
+		cur[e] = d * d
+		choice[1][e] = 0
 	}
-	prev[0] = 0
-	dev := func(s, e int) float64 {
-		d := p[e] - p[s] - iIdeal
-		return d * d
-	}
-	for j := 1; j <= n; j++ {
-		for e := 0; e <= nMod; e++ {
-			cur[e] = inf
-		}
-		// Group j covers [s, e): need s ≥ j−1 and e ≥ j.
-		for e := j; e <= nMod-(n-j); e++ {
-			best, bestS := inf, -1
-			for s := j - 1; s < e; s++ {
-				if prev[s] >= inf {
-					continue
-				}
-				if c := prev[s] + dev(s, e); c < best {
+	prev, cur = cur, prev
+
+	for j := 2; j <= nmax; j++ {
+		// Group j covers [s, e) with s ≥ j−1 and e ≥ j; every prev[s]
+		// in that band is finite, so no feasibility checks are needed
+		// inside the scans.
+		dp.stack = append(dp.stack[:0], dcRange{int32(j), int32(nMod), int32(j - 1), int32(nMod - 1)})
+		for len(dp.stack) > 0 {
+			r := dp.stack[len(dp.stack)-1]
+			dp.stack = dp.stack[:len(dp.stack)-1]
+			e := int(r.elo+r.ehi) / 2
+			shi := int(r.shi)
+			if shi > e-1 {
+				shi = e - 1
+			}
+			pe := p[e]
+			s0 := int(r.slo)
+			d := pe - p[s0]
+			best, bestS := prev[s0]+d*d, s0
+			for s := s0 + 1; s <= shi; s++ {
+				d := pe - p[s]
+				if c := prev[s] + d*d; c < best {
 					best, bestS = c, s
 				}
 			}
 			cur[e] = best
 			choice[j][e] = int32(bestS)
+			if int32(e)-1 >= r.elo {
+				dp.stack = append(dp.stack, dcRange{r.elo, int32(e) - 1, r.slo, int32(bestS)})
+			}
+			if int32(e)+1 <= r.ehi {
+				dp.stack = append(dp.stack, dcRange{int32(e) + 1, r.ehi, int32(bestS), r.shi})
+			}
 		}
 		prev, cur = cur, prev
 	}
-	// Reconstruct boundaries.
-	e := nMod
+	return nil
+}
+
+// reconstructInto walks the choice table of the last tableInto build
+// backwards from the full module count, writing the n = len(starts)
+// group starts into starts. Requires n ≤ the nmax of that build; rows
+// never depend on nmax, so the starts equal a dedicated n-row build's.
+func (dp *dpBuffers) reconstructInto(starts []int) error {
+	n := len(starts)
+	if n < 1 || n > dp.rows {
+		return fmt.Errorf("core: reconstructing %d groups from a %d-row DP table", n, dp.rows)
+	}
+	starts[0] = 0
+	e := dp.nMod
 	for j := n; j >= 2; j-- {
-		s := int(choice[j][e])
-		if s < 0 {
+		s := int(dp.choice[j][e])
+		if s < j-1 || s >= e {
 			return fmt.Errorf("core: DP reconstruction failed at group %d", j)
 		}
 		starts[j-1] = s

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -175,6 +176,273 @@ func TestPartitionDeviationZeroForPerfectBalance(t *testing.T) {
 	impp := []float64{2, 2, 2, 2}
 	if d := partitionDeviation(impp, []int{0, 2}); d > 1e-12 {
 		t.Errorf("deviation %v for perfectly balanced split", d)
+	}
+}
+
+// partitionTableNaive is the shared DP table filled by full quadratic
+// row scans — the reference the divide-and-conquer tableInto must match
+// bit for bit, starts and all (docs/ARCHITECTURE.md determinism
+// clause 4).
+func partitionTableNaive(starts []int, p []float64) error {
+	n := len(starts)
+	nMod := len(p) - 1
+	starts[0] = 0
+	if n == 1 {
+		return nil
+	}
+	prev := make([]float64, nMod+1)
+	cur := make([]float64, nMod+1)
+	choice := make([][]int32, n+1)
+	for j := range choice {
+		choice[j] = make([]int32, nMod+1)
+	}
+	for e := 1; e <= nMod; e++ {
+		d := p[e] - p[0]
+		cur[e] = d * d
+		choice[1][e] = 0
+	}
+	prev, cur = cur, prev
+	for j := 2; j <= n; j++ {
+		for e := j; e <= nMod; e++ {
+			d := p[e] - p[j-1]
+			best, bestS := prev[j-1]+d*d, j-1
+			for s := j; s < e; s++ {
+				d := p[e] - p[s]
+				if c := prev[s] + d*d; c < best {
+					best, bestS = c, s
+				}
+			}
+			cur[e] = best
+			choice[j][e] = int32(bestS)
+		}
+		prev, cur = cur, prev
+	}
+	e := nMod
+	for j := n; j >= 2; j-- {
+		s := int(choice[j][e])
+		if s < j-1 || s >= e {
+			return fmt.Errorf("naive reconstruction failed at group %d", j)
+		}
+		starts[j-1] = s
+		e = s
+	}
+	return nil
+}
+
+// partitionIntoNaive is the PR-5-era exhaustive DP: one quadratic table
+// per group count over the cost Σ (groupSum − Iideal)². Kept verbatim as
+// the objective reference — the shared-table DP minimises Σ groupSum²,
+// which differs from this cost by the partition-independent constant
+// 2·Iideal·total − n·Iideal², so both must land on partitions of equal
+// deviation (TestDPTableMatchesIdealObjective). Tie-breaks between
+// equal-deviation partitions may differ: the two costs round differently
+// in floating point, which is why the shared table carries its own
+// bit-identity reference above rather than this one.
+func partitionIntoNaive(starts []int, p []float64) error {
+	n := len(starts)
+	nMod := len(p) - 1
+	starts[0] = 0
+	if n == 1 {
+		return nil
+	}
+	iIdeal := p[nMod] / float64(n)
+	const inf = 1e300
+	prev := make([]float64, nMod+1)
+	cur := make([]float64, nMod+1)
+	choice := make([][]int32, n+1)
+	for j := range choice {
+		choice[j] = make([]int32, nMod+1)
+	}
+	for e := 0; e <= nMod; e++ {
+		prev[e] = inf
+	}
+	prev[0] = 0
+	dev := func(s, e int) float64 {
+		d := p[e] - p[s] - iIdeal
+		return d * d
+	}
+	for j := 1; j <= n; j++ {
+		for e := 0; e <= nMod; e++ {
+			cur[e] = inf
+		}
+		for e := j; e <= nMod-(n-j); e++ {
+			best, bestS := inf, -1
+			for s := j - 1; s < e; s++ {
+				if prev[s] >= inf {
+					continue
+				}
+				if c := prev[s] + dev(s, e); c < best {
+					best, bestS = c, s
+				}
+			}
+			cur[e] = best
+			choice[j][e] = int32(bestS)
+		}
+		prev, cur = cur, prev
+	}
+	e := nMod
+	for j := n; j >= 2; j-- {
+		s := int(choice[j][e])
+		if s < 0 {
+			return fmt.Errorf("core: DP reconstruction failed at group %d", j)
+		}
+		starts[j-1] = s
+		e = s
+	}
+	return nil
+}
+
+// TestDPTableMatchesNaive pins the divide-and-conquer shared-table DP to
+// the quadratic reference: identical starts — not merely equal
+// deviations — on random profiles, the radiator's decay profile, and
+// tie-heavy inputs (flat, zero-padded, duplicated currents) where the
+// leftmost-argmin tie-break is what distinguishes equal-cost partitions.
+func TestDPTableMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var dp dpBuffers // one reused buffer set, like the EHTR decider
+	check := func(name string, impp []float64, n int) {
+		t.Helper()
+		p := prefixSums(impp)
+		want := make([]int, n)
+		if err := partitionTableNaive(want, p); err != nil {
+			t.Fatalf("%s: naive: %v", name, err)
+		}
+		got := make([]int, n)
+		if err := dp.tableInto(p, n); err != nil {
+			t.Fatalf("%s: d&c: %v", name, err)
+		}
+		if err := dp.reconstructInto(got); err != nil {
+			t.Fatalf("%s: d&c: %v", name, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s (nMod=%d n=%d): starts diverge at %d: d&c %v, naive %v",
+					name, len(impp), n, i, got, want)
+			}
+		}
+	}
+
+	// Tie-heavy structured profiles: every cost comparison that can tie
+	// does, so only matching tie-breaks keep the starts identical.
+	for _, nMod := range []int{1, 2, 3, 7, 20, 50} {
+		flat := make([]float64, nMod)
+		zeros := make([]float64, nMod)
+		blocks := make([]float64, nMod)
+		for i := range flat {
+			flat[i] = 1.25
+			blocks[i] = float64(1 + i/5)
+		}
+		for n := 1; n <= nMod; n++ {
+			check("flat", flat, n)
+			check("zeros", zeros, n)
+			check("blocks", blocks, n)
+		}
+	}
+
+	// The radiator case: exponential decay plus noise, full group range.
+	decay := make([]float64, 100)
+	for i := range decay {
+		decay[i] = 1.5*math.Exp(-float64(i)/25) + 0.05*rng.Float64()
+	}
+	for n := 1; n <= 40; n++ {
+		check("decay", decay, n)
+	}
+
+	// Random fuzz, including runs of exactly-equal and zero currents.
+	for trial := 0; trial < 400; trial++ {
+		nMod := 1 + rng.Intn(64)
+		impp := make([]float64, nMod)
+		for i := range impp {
+			switch rng.Intn(4) {
+			case 0:
+				impp[i] = 0
+			case 1:
+				impp[i] = 0.75 // repeated exact value → exact cost ties
+			default:
+				impp[i] = rng.Float64() * 3
+			}
+		}
+		n := 1 + rng.Intn(nMod)
+		check("fuzz", impp, n)
+	}
+}
+
+// TestDPTableSharedAcrossGroupCounts is the property configureAt leans
+// on: one table built to the window's largest group count yields, for
+// every smaller n, exactly the starts a dedicated n-row build yields.
+func TestDPTableSharedAcrossGroupCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		nMod := 2 + rng.Intn(80)
+		impp := make([]float64, nMod)
+		for i := range impp {
+			if rng.Intn(3) == 0 {
+				impp[i] = 1.0 // exact repeats → cost ties
+			} else {
+				impp[i] = rng.Float64() * 2
+			}
+		}
+		p := prefixSums(impp)
+		nmax := 1 + rng.Intn(nMod)
+		var shared dpBuffers
+		if err := shared.tableInto(p, nmax); err != nil {
+			t.Fatal(err)
+		}
+		for n := 1; n <= nmax; n++ {
+			got := make([]int, n)
+			if err := shared.reconstructInto(got); err != nil {
+				t.Fatalf("trial %d n=%d: %v", trial, n, err)
+			}
+			var fresh dpBuffers
+			want := make([]int, n)
+			if err := fresh.tableInto(p, n); err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.reconstructInto(want); err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d (nMod=%d nmax=%d n=%d): shared %v, dedicated %v",
+						trial, nMod, nmax, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDPTableMatchesIdealObjective checks the algebra that lets the
+// shared table drop Iideal from the cost: Σ (g − Iideal)² and Σ g² are
+// offset by a partition-independent constant, so the two DPs must find
+// partitions of equal deviation (though possibly different tie-breaks).
+func TestDPTableMatchesIdealObjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		nMod := 1 + rng.Intn(60)
+		impp := make([]float64, nMod)
+		for i := range impp {
+			impp[i] = rng.Float64() * 3
+		}
+		n := 1 + rng.Intn(nMod)
+		p := prefixSums(impp)
+		ideal := make([]int, n)
+		if err := partitionIntoNaive(ideal, p); err != nil {
+			t.Fatal(err)
+		}
+		shared := make([]int, n)
+		var dp dpBuffers
+		if err := dp.tableInto(p, n); err != nil {
+			t.Fatal(err)
+		}
+		if err := dp.reconstructInto(shared); err != nil {
+			t.Fatal(err)
+		}
+		dIdeal := partitionDeviation(impp, ideal)
+		dShared := partitionDeviation(impp, shared)
+		if math.Abs(dIdeal-dShared) > 1e-9*(1+dIdeal) {
+			t.Fatalf("trial %d (nMod=%d n=%d): deviations diverge: ideal-cost DP %v (%v), shared-table DP %v (%v)",
+				trial, nMod, n, dIdeal, ideal, dShared, shared)
+		}
 	}
 }
 

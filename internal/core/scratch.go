@@ -117,6 +117,14 @@ func (e *Evaluator) configureAt(sc *scratch, arr *array.Array, exhaustive bool) 
 	}
 	sc.impp = arr.MPPCurrentsInto(sc.impp)
 	sc.prefix = prefixSumsInto(sc.prefix, sc.impp)
+	if exhaustive {
+		// The DP cost Σ groupSum² is independent of the group count, so
+		// one table build serves the whole candidate window; each n below
+		// is a backward walk over it.
+		if err := sc.dp.tableInto(sc.prefix, nmax); err != nil {
+			return array.Config{}, Operating{}, err
+		}
+	}
 
 	var bestCfg, cleanCfg array.Config
 	var bestOp, cleanOp Operating
@@ -130,7 +138,7 @@ func (e *Evaluator) configureAt(sc *scratch, arr *array.Array, exhaustive bool) 
 		}
 		sc.starts = sc.starts[:n]
 		if exhaustive {
-			if err := sc.dp.partitionInto(sc.starts, sc.prefix); err != nil {
+			if err := sc.dp.reconstructInto(sc.starts); err != nil {
 				return array.Config{}, Operating{}, err
 			}
 		} else {

@@ -21,9 +21,12 @@ type ScalingPoint struct {
 }
 
 // ScalingStudy measures single-invocation INOR vs EHTR runtime across
-// array sizes on a synthetic radiator profile — the O(N) vs O(N³)
-// claim behind the paper's scalability argument (Sections I and VII).
-// reps controls averaging.
+// array sizes on a synthetic radiator profile — the scalability
+// argument of the paper's Sections I and VII. The paper contrasts the
+// O(N) greedy with an O(N³) exhaustive search; here the exhaustive
+// side runs the shared-table DP (O(nmax·N log N) per decision), so the
+// measured gap is the residual table-build premium rather than the
+// naive cubic blow-up. reps controls averaging.
 func ScalingStudy(sizes []int, reps int) ([]ScalingPoint, error) {
 	if reps < 1 {
 		return nil, fmt.Errorf("experiments: reps %d < 1", reps)
@@ -103,7 +106,7 @@ func HorizonAblationContext(ctx context.Context, s *Setup, horizons []int) ([]Ho
 		}
 		jobs = append(jobs, sim.Job{Sys: s.Sys, Trace: s.Trace, Ctrl: dnor, Opts: s.summaryOpts()})
 	}
-	results, err := sim.Batch{Workers: s.Opts.Workers}.RunContext(ctx, jobs)
+	results, err := sim.Batch{Workers: s.Opts.Workers, Stepping: s.Opts.Stepping}.RunContext(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -170,7 +173,7 @@ func PredictorAblationContext(ctx context.Context, s *Setup) ([]PredictorPoint, 
 		}
 		jobs = append(jobs, sim.Job{Sys: s.Sys, Trace: s.Trace, Ctrl: dnor, Opts: s.summaryOpts()})
 	}
-	results, err := sim.Batch{Workers: s.Opts.Workers}.RunContext(ctx, jobs)
+	results, err := sim.Batch{Workers: s.Opts.Workers, Stepping: s.Opts.Stepping}.RunContext(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +222,7 @@ func WindowAblationContext(ctx context.Context, s *Setup, windows [][2]float64) 
 		}
 		jobs = append(jobs, sim.Job{Sys: setup.Sys, Trace: s.Trace, Ctrl: inor, Opts: s.summaryOpts()})
 	}
-	results, err := sim.Batch{Workers: s.Opts.Workers}.RunContext(ctx, jobs)
+	results, err := sim.Batch{Workers: s.Opts.Workers, Stepping: s.Opts.Stepping}.RunContext(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -273,7 +276,7 @@ func MarginAblationContext(ctx context.Context, s *Setup, marginsJ []float64) ([
 		}
 		jobs = append(jobs, sim.Job{Sys: s.Sys, Trace: s.Trace, Ctrl: dnor, Opts: s.summaryOpts()})
 	}
-	results, err := sim.Batch{Workers: s.Opts.Workers}.RunContext(ctx, jobs)
+	results, err := sim.Batch{Workers: s.Opts.Workers, Stepping: s.Opts.Stepping}.RunContext(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}

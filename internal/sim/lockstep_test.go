@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tegrecon/internal/core"
+	"tegrecon/internal/drive"
+	"tegrecon/internal/faults"
+	"tegrecon/internal/thermal"
+	"tegrecon/internal/trace"
+)
+
+// fleetTrace synthesizes a drive trace of the given duration (seconds).
+func fleetTrace(t *testing.T, seconds float64) *trace.Trace {
+	t.Helper()
+	cfg := drive.DefaultSynthConfig()
+	cfg.Duration = seconds
+	tr, err := drive.Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// fleetJobs builds m same-plant jobs cycling through the given scheme
+// builders, with mixed trace durations (so members retire mid-fleet),
+// distinct noise seeds, and a mid-batch fault plan on every third
+// member. Controllers are stateful, so every call builds fresh ones —
+// the same job list can be replayed on both stepping engines.
+func fleetJobs(t *testing.T, sys *System, m int, builders []func(*testing.T, *System) core.Controller) []Job {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.DeterministicRuntime = true
+	traces := []*trace.Trace{fleetTrace(t, 40), fleetTrace(t, 30), fleetTrace(t, 21)}
+	jobs := make([]Job, m)
+	for i := range jobs {
+		o := opts
+		o.Seed = int64(100 + i)
+		tr := traces[i%len(traces)]
+		if i%3 == 2 {
+			plan, err := faults.RandomPlan(sys.Modules, 6, tr.Duration(), int64(i+1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			o.FaultPlan = plan
+		}
+		jobs[i] = Job{Sys: sys, Trace: tr, Ctrl: builders[i%len(builders)](t, sys), Opts: o}
+	}
+	return jobs
+}
+
+// runStepping replays the jobs serially on the chosen engine.
+func runStepping(t *testing.T, jobs []Job, s Stepping) []*Result {
+	t.Helper()
+	rs, err := Batch{Workers: 1, Stepping: s}.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+// TestFleetMatchesSessions is the lockstep engine's referee: for every
+// batch size the fleet's results — every tick of every member, fault
+// plans and early retirement included — must be bit-identical to
+// stepping each job through its own Session.
+func TestFleetMatchesSessions(t *testing.T) {
+	sys := DefaultSystem()
+	all := []func(*testing.T, *System) core.Controller{newBaseline, newINOR, newDNOR, newEHTR}
+	cheap := []func(*testing.T, *System) core.Controller{newBaseline, newINOR}
+	cases := []struct {
+		name     string
+		m        int
+		builders []func(*testing.T, *System) core.Controller
+	}{
+		{"M1", 1, cheap},
+		{"M7_all_schemes", 7, all},
+		{"M64", 64, cheap},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.m == 64 && raceEnabled && testing.Short() {
+				// Non-short CI still covers M=64 under -race via the serve
+				// job's package run; keep the short race sweep quick.
+				t.Skip("64-member fleet is slow under the race detector")
+			}
+			scalar := runStepping(t, fleetJobs(t, sys, tc.m, tc.builders), StepSessions)
+			fleet := runStepping(t, fleetJobs(t, sys, tc.m, tc.builders), StepLockstep)
+			if len(scalar) != len(fleet) {
+				t.Fatalf("%d scalar vs %d fleet results", len(scalar), len(fleet))
+			}
+			for i := range scalar {
+				if scalar[i].Scheme != fleet[i].Scheme {
+					t.Fatalf("job %d: order differs (%s vs %s)", i, scalar[i].Scheme, fleet[i].Scheme)
+				}
+				if len(scalar[i].Ticks) != len(fleet[i].Ticks) {
+					t.Fatalf("job %d (%s): %d scalar ticks vs %d fleet ticks",
+						i, scalar[i].Scheme, len(scalar[i].Ticks), len(fleet[i].Ticks))
+				}
+				for k := range scalar[i].Ticks {
+					if scalar[i].Ticks[k] != fleet[i].Ticks[k] {
+						t.Fatalf("job %d (%s) tick %d: scalar %+v vs fleet %+v",
+							i, scalar[i].Scheme, k, scalar[i].Ticks[k], fleet[i].Ticks[k])
+					}
+				}
+				if !reflect.DeepEqual(scalar[i], fleet[i]) {
+					t.Errorf("job %d (%s): fleet result differs from scalar", i, scalar[i].Scheme)
+				}
+			}
+		})
+	}
+}
+
+// TestStepAutoRoutesOntoLockstep pins the routing rule: a same-plant,
+// same-cadence batch on StepAuto must produce exactly what StepLockstep
+// produces (it IS the lockstep path), and what StepSessions produces
+// (bit-identity).
+func TestStepAutoRoutesOntoLockstep(t *testing.T) {
+	sys := DefaultSystem()
+	cheap := []func(*testing.T, *System) core.Controller{newBaseline, newINOR}
+	auto := runStepping(t, fleetJobs(t, sys, 4, cheap), StepAuto)
+	scalar := runStepping(t, fleetJobs(t, sys, 4, cheap), StepSessions)
+	for i := range auto {
+		if !reflect.DeepEqual(auto[i], scalar[i]) {
+			t.Errorf("job %d (%s): StepAuto result differs from per-session", i, auto[i].Scheme)
+		}
+	}
+}
+
+func TestLockstepEligible(t *testing.T) {
+	sys := DefaultSystem()
+	tr := fleetTrace(t, 21)
+	opts := DefaultOptions()
+	mk := func(n int) []Job {
+		jobs := make([]Job, n)
+		for i := range jobs {
+			jobs[i] = Job{Sys: sys, Trace: tr, Ctrl: newBaseline(t, sys), Opts: opts}
+		}
+		return jobs
+	}
+	if lockstepEligible(mk(1)) {
+		t.Error("single job should not be eligible (no sharing to exploit)")
+	}
+	if !lockstepEligible(mk(3)) {
+		t.Error("uniform batch should be eligible")
+	}
+	jobs := mk(3)
+	jobs[2].Opts.TickSeconds = 1.0
+	if lockstepEligible(jobs) {
+		t.Error("mixed tick cadence should not be eligible")
+	}
+	jobs = mk(3)
+	other := DefaultSystem()
+	other.Modules = 50
+	jobs[1].Sys = other
+	if lockstepEligible(jobs) {
+		t.Error("mixed plants should not be eligible")
+	}
+	jobs = mk(2)
+	jobs[0].Sys = nil
+	if lockstepEligible(jobs) {
+		t.Error("nil system should fall back to per-session validation")
+	}
+}
+
+func TestFleetRejectsBadInputs(t *testing.T) {
+	if _, err := NewFleet(nil); err == nil {
+		t.Error("empty fleet should error")
+	}
+	sys := DefaultSystem()
+	opts := DefaultOptions()
+	if _, err := NewFleet([]FleetJob{{Sys: nil, Ctrl: newBaseline(t, sys), Opts: opts}}); err == nil ||
+		!strings.Contains(err.Error(), "member 0") {
+		t.Errorf("nil system should name the member, got %v", err)
+	}
+	f, err := NewFleet([]FleetJob{
+		{Sys: sys, Ctrl: newBaseline(t, sys), Opts: opts},
+		{Sys: sys, Ctrl: newINOR(t, sys), Opts: opts},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, err := f.Step([]thermal.Conditions{{}}); err == nil || i != -1 {
+		t.Errorf("conds length mismatch should error fleet-wide, got (%d, %v)", i, err)
+	}
+}
+
+func TestFleetCancelAbortsMidTick(t *testing.T) {
+	sys := DefaultSystem()
+	cheap := []func(*testing.T, *System) core.Controller{newBaseline, newINOR}
+	jobs := fleetJobs(t, sys, 4, cheap)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Batch{Workers: 1, Stepping: StepLockstep}.RunContext(ctx, jobs)
+	if err == nil || !strings.Contains(err.Error(), "canceled") {
+		t.Errorf("pre-canceled context should abort the fleet, got %v", err)
+	}
+}
+
+// TestFleetStepAllocationFree extends the zero-allocation gate to the
+// lockstep engine: once every member's slab rows and controller
+// scratches reach steady state, a whole fleet tick must allocate
+// nothing — that is the point of carving the [M×N] slabs up front.
+func TestFleetStepAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation adds allocations the production build does not pay")
+	}
+	sys := DefaultSystem()
+	tr := shortTrace(t)
+	opts := DefaultOptions()
+	opts.DeterministicRuntime = true
+	opts.KeepTicks = false
+	conds1 := benchConds(t, tr, opts.TickSeconds)
+	const m = 8
+	fjobs := make([]FleetJob, m)
+	for i := range fjobs {
+		o := opts
+		o.Seed = int64(i)
+		var ctrl core.Controller
+		if i%2 == 0 {
+			ctrl = newINOR(t, sys)
+		} else {
+			ctrl = newBaseline(t, sys)
+		}
+		fjobs[i] = FleetJob{Sys: sys, Ctrl: ctrl, Opts: o}
+	}
+	f, err := NewFleet(fjobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conds := make([]thermal.Conditions, m)
+	step := func(k int) {
+		for i := range conds {
+			conds[i] = conds1[k%len(conds1)]
+		}
+		if i, err := f.Step(conds); err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+	}
+	// Warmup: one full pass over the trace grows every scratch buffer to
+	// the largest size this drive demands.
+	for k := range conds1 {
+		step(k)
+	}
+	k := 0
+	avg := testing.AllocsPerRun(100, func() {
+		step(k)
+		k++
+	})
+	if avg > stepAllocBudget {
+		t.Errorf("steady-state Fleet.Step allocates %.1f times per tick, budget %d", avg, stepAllocBudget)
+	}
+}

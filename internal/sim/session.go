@@ -137,19 +137,42 @@ func (s *Session) Now() float64 {
 // to Options.OnTick and, when Options.KeepTicks is set, buffered into
 // the Result).
 func (s *Session) Step(cond thermal.Conditions) (Tick, error) {
-	k := s.steps
-	now := s.Now()
-	sc := s.sc
-	var err error
-	sc.temps, err = s.sys.Radiator.ModuleTempsInto(sc.temps, cond, s.sys.Modules)
-	if err != nil {
-		return Tick{}, fmt.Errorf("sim: t=%g: %w", now, err)
+	if err := s.tickTemps(cond); err != nil {
+		return Tick{}, err
 	}
-	var health []array.ModuleHealth
+	if err := s.tickSense(cond); err != nil {
+		return Tick{}, err
+	}
+	if err := s.tickDecide(cond); err != nil {
+		return Tick{}, err
+	}
+	return s.tickAct(cond)
+}
+
+// tickTemps is Step's plant-input phase: solve the radiator under this
+// period's boundary conditions into the scratch's module-temperature
+// row. The fleet engine replaces this phase with one shared solve per
+// distinct (radiator, conditions) pair.
+func (s *Session) tickTemps(cond thermal.Conditions) error {
+	var err error
+	s.sc.temps, err = s.sys.Radiator.ModuleTempsInto(s.sc.temps, cond, s.sys.Modules)
+	if err != nil {
+		return fmt.Errorf("sim: t=%g: %w", s.Now(), err)
+	}
+	return nil
+}
+
+// tickSense is Step's measurement phase: advance the fault plan to the
+// session clock and build the controller's noisy view of the module
+// temperatures, masking dead modules to ambient.
+func (s *Session) tickSense(cond thermal.Conditions) error {
+	sc := s.sc
+	sc.health = nil
 	if s.faultTracker != nil {
-		health, _, err = s.faultTracker.AdvanceTo(now)
+		var err error
+		sc.health, _, err = s.faultTracker.AdvanceTo(s.Now())
 		if err != nil {
-			return Tick{}, err
+			return err
 		}
 	}
 	if cap(sc.sensed) < len(sc.temps) {
@@ -158,17 +181,36 @@ func (s *Session) Step(cond thermal.Conditions) (Tick, error) {
 	sc.sensed = sc.sensed[:len(sc.temps)]
 	for i, tv := range sc.temps {
 		sc.sensed[i] = tv + s.rng.NormFloat64()*s.opts.SensorNoiseC
-		if health != nil && health[i] != array.Healthy {
+		if sc.health != nil && sc.health[i] != array.Healthy {
 			// Fault detection: the controller sees a dead module as one
 			// at ambient (zero harvestable ΔT).
 			sc.sensed[i] = cond.AirInletC
 		}
 	}
+	return nil
+}
 
-	dec, err := s.ctrl.Decide(k, sc.sensed, cond.AirInletC)
+// tickDecide is Step's control phase: ask the controller for this
+// period's topology. The decision (whose Config aliases controller
+// storage until the next Decide) is parked on the scratch for tickAct.
+func (s *Session) tickDecide(cond thermal.Conditions) error {
+	var err error
+	s.sc.dec, err = s.ctrl.Decide(s.steps, s.sc.sensed, cond.AirInletC)
 	if err != nil {
-		return Tick{}, fmt.Errorf("sim: %s at t=%g: %w", s.ctrl.Name(), now, err)
+		return fmt.Errorf("sim: %s at t=%g: %w", s.ctrl.Name(), s.Now(), err)
 	}
+	return nil
+}
+
+// tickAct is Step's plant-and-accounting phase: operate the decided
+// configuration through the MPPT and converter into the battery, charge
+// the switching overhead, and commit the period into the Result
+// accumulators and the session clock.
+func (s *Session) tickAct(cond thermal.Conditions) (Tick, error) {
+	now := s.Now()
+	sc := s.sc
+	dec, health := sc.dec, sc.health
+	var err error
 	computeTime := dec.ComputeTime
 	if s.opts.DeterministicRuntime {
 		computeTime = 0

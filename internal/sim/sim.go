@@ -9,7 +9,6 @@ package sim
 import (
 	"context"
 	"fmt"
-	"math"
 	"time"
 
 	"tegrecon/internal/charger"
@@ -97,6 +96,12 @@ type Options struct {
 	// DeterministicRuntime runs) or where throughput matters more than
 	// the runtime-priced decimals.
 	Workers int
+	// Stepping selects the batch engine used when this Options value
+	// drives a batch of independent runs: the zero value (StepAuto)
+	// routes same-plant, same-cadence jobs through the lockstep fleet
+	// engine, StepSessions forces one session per job, StepLockstep
+	// forces the fleet. A single Run ignores it. See Batch.Stepping.
+	Stepping Stepping
 	// DeterministicRuntime drops the measured controller wall-clock from
 	// the physics: switching overhead is priced with zero compute time
 	// and the runtime statistics report zero. Everything else in a run
@@ -186,7 +191,7 @@ func runContextWith(ctx context.Context, sys *System, tr *trace.Trace, ctrl core
 	if err != nil {
 		return nil, err
 	}
-	ticks := int(math.Floor(tr.Duration()/opts.TickSeconds)) + 1
+	ticks := ticksFor(tr, opts.TickSeconds)
 	if opts.KeepTicks {
 		// The replay knows its span up front; pre-size the buffer the way
 		// the pre-Session monolith did.
@@ -222,5 +227,5 @@ func RunAllContext(ctx context.Context, sys *System, tr *trace.Trace, ctrls []co
 	for i, c := range ctrls {
 		jobs[i] = Job{Sys: sys, Trace: tr, Ctrl: c, Opts: opts}
 	}
-	return Batch{Workers: opts.Workers}.RunContext(ctx, jobs)
+	return Batch{Workers: opts.Workers, Stepping: opts.Stepping}.RunContext(ctx, jobs)
 }

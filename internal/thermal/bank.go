@@ -39,25 +39,34 @@ func (b *Bank) Validate() error {
 
 // FlowWeights returns the per-path flow weights (mean exactly 1).
 func (b *Bank) FlowWeights() ([]float64, error) {
+	return b.FlowWeightsInto(nil)
+}
+
+// FlowWeightsInto is FlowWeights writing into dst, reusing its backing
+// storage when the capacity suffices.
+func (b *Bank) FlowWeightsInto(dst []float64) ([]float64, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
-	w := make([]float64, b.Paths)
+	if cap(dst) < b.Paths {
+		dst = make([]float64, b.Paths)
+	}
+	dst = dst[:b.Paths]
 	if b.Paths == 1 {
-		w[0] = 1
-		return w, nil
+		dst[0] = 1
+		return dst, nil
 	}
 	sum := 0.0
-	for i := range w {
+	for i := range dst {
 		x := float64(i) / float64(b.Paths-1)
-		w[i] = 1 + b.Maldistribution*(4*x*(1-x)-2.0/3.0)
-		sum += w[i]
+		dst[i] = 1 + b.Maldistribution*(4*x*(1-x)-2.0/3.0)
+		sum += dst[i]
 	}
 	scale := float64(b.Paths) / sum
-	for i := range w {
-		w[i] *= scale
+	for i := range dst {
+		dst[i] *= scale
 	}
-	return w, nil
+	return dst, nil
 }
 
 // PathConditions splits per-path-average conditions into the actual
@@ -65,21 +74,45 @@ func (b *Bank) FlowWeights() ([]float64, error) {
 // The supplied Conditions carry the per-path *average* coolant and air
 // flows (the convention of the drive-trace channels).
 func (b *Bank) PathConditions(avg Conditions) ([]Conditions, error) {
-	w, err := b.FlowWeights()
-	if err != nil {
+	return b.PathConditionsInto(nil, avg)
+}
+
+// PathConditionsInto is PathConditions writing into dst, reusing its
+// backing storage when the capacity suffices. The flow weights are
+// derived inline, so a bank-stepping loop that holds one Conditions
+// buffer pays no per-tick allocation here.
+func (b *Bank) PathConditionsInto(dst []Conditions, avg Conditions) ([]Conditions, error) {
+	if err := b.Validate(); err != nil {
 		return nil, err
 	}
 	if err := avg.Validate(); err != nil {
 		return nil, err
 	}
-	out := make([]Conditions, b.Paths)
-	for i := range out {
-		out[i] = avg
-		out[i].CoolantFlowKgS = avg.CoolantFlowKgS * w[i]
-		// Air maldistributes much less (open fin area); half strength.
-		out[i].AirFlowKgS = avg.AirFlowKgS * (1 + (w[i]-1)/2)
+	if cap(dst) < b.Paths {
+		dst = make([]Conditions, b.Paths)
 	}
-	return out, nil
+	dst = dst[:b.Paths]
+	if b.Paths == 1 {
+		dst[0] = avg
+		return dst, nil
+	}
+	// Same parabolic profile and renormalisation as FlowWeightsInto,
+	// with the weight consumed as it is produced.
+	sum := 0.0
+	for i := 0; i < b.Paths; i++ {
+		x := float64(i) / float64(b.Paths-1)
+		sum += 1 + b.Maldistribution*(4*x*(1-x)-2.0/3.0)
+	}
+	scale := float64(b.Paths) / sum
+	for i := range dst {
+		x := float64(i) / float64(b.Paths-1)
+		w := (1 + b.Maldistribution*(4*x*(1-x)-2.0/3.0)) * scale
+		dst[i] = avg
+		dst[i].CoolantFlowKgS = avg.CoolantFlowKgS * w
+		// Air maldistributes much less (open fin area); half strength.
+		dst[i].AirFlowKgS = avg.AirFlowKgS * (1 + (w-1)/2)
+	}
+	return dst, nil
 }
 
 // ModuleTemps returns per-path per-module hot-side temperatures for a
@@ -98,4 +131,23 @@ func (b *Bank) ModuleTemps(avg Conditions, perPath int) ([][]float64, error) {
 		out[i] = temps
 	}
 	return out, nil
+}
+
+// ModuleTempsInto is ModuleTemps over caller-held buffers: the per-path
+// boundary conditions land in conds and the temperatures in dst as a
+// row-major [Paths×perPath] slab (path i's modules at dst[i*perPath:
+// (i+1)*perPath]), both reused when their capacity suffices. A
+// bank-stepping loop holding the two buffers evaluates the whole 2-D
+// radiator each tick without the [][]float64 the allocating form builds
+// (TestBankModuleTempsIntoMatches pins the slab rows to it).
+func (b *Bank) ModuleTempsInto(dst []float64, conds []Conditions, avg Conditions, perPath int) ([]float64, []Conditions, error) {
+	conds, err := b.PathConditionsInto(conds, avg)
+	if err != nil {
+		return nil, nil, err
+	}
+	dst, err = b.Radiator.ModuleTempsBatchInto(dst, conds, perPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dst, conds, nil
 }
