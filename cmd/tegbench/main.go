@@ -37,6 +37,13 @@
 //	                    the number
 //	serve_cache_hit     a POST /v1/runs answered from the result cache —
 //	                    the steady-state cost of a repeated request
+//	scaling_ehtr_n800   the O(N³) reconstruction at N = 800 — the deep
+//	                    end of the Ext-A scaling curve
+//	twin_sessions_concurrent
+//	                    eight /v1/sessions digital twins stepped in
+//	                    parallel over HTTP, 50-tick batches through the
+//	                    delivery cycle (aggregate ticks/sec): the
+//	                    long-lived-session serving cost
 //
 // JSON schema (schema_version 1):
 //
@@ -87,6 +94,7 @@ import (
 	"os/exec"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -126,12 +134,14 @@ type Document struct {
 }
 
 // Budget is the enforced envelope: allocation ceilings for the
-// session_step suite and a throughput floor for the sweep.
+// session_step suite and throughput floors for the sweep and the
+// concurrent twin-session serving path.
 type Budget struct {
 	SessionStepMaxAllocsPerOp     *int64  `json:"session_step_max_allocs_per_op"`
 	SessionStepMaxBytesPerOp      *int64  `json:"session_step_max_bytes_per_op"`
 	SessionStepMaxNsPerOp         float64 `json:"session_step_max_ns_per_op"`
 	SweepThroughputMinTicksPerSec float64 `json:"sweep_throughput_min_ticks_per_sec"`
+	TwinSessionsMinTicksPerSec    float64 `json:"twin_sessions_min_ticks_per_sec"`
 }
 
 func main() {
@@ -179,10 +189,12 @@ func main() {
 		{"scaling_inor_n400", func() (Result, error) { return benchDecide(400, false) }},
 		{"scaling_inor_n800", func() (Result, error) { return benchDecide(800, false) }},
 		{"scaling_ehtr_n100", func() (Result, error) { return benchDecide(100, true) }},
+		{"scaling_ehtr_n800", func() (Result, error) { return benchDecide(800, true) }},
 		{"fleet_step_m64", func() (Result, error) { return benchFleetStep(64, runDur) }},
 		{"sweep_throughput", func() (Result, error) { return benchSweep(sweepCap, 0, sim.StepAuto) }},
 		{"sweep_batched_throughput", func() (Result, error) { return benchSweep(sweepCap, 1, sim.StepLockstep) }},
 		{"serve_cache_hit", benchServeCacheHit},
+		{"twin_sessions_concurrent", func() (Result, error) { return benchTwinSessions(*quick) }},
 	}
 	for _, s := range suites {
 		log.Printf("running %s ...", s.name)
@@ -275,6 +287,21 @@ func enforceBudget(path string, doc Document) error {
 		if sweep.TicksPerSec < b.SweepThroughputMinTicksPerSec {
 			return fmt.Errorf("sweep_throughput %.0f ticks/sec below floor %.0f",
 				sweep.TicksPerSec, b.SweepThroughputMinTicksPerSec)
+		}
+	}
+	if b.TwinSessionsMinTicksPerSec > 0 {
+		var twin *Result
+		for i := range doc.Results {
+			if doc.Results[i].Name == "twin_sessions_concurrent" {
+				twin = &doc.Results[i]
+			}
+		}
+		if twin == nil {
+			return fmt.Errorf("no twin_sessions_concurrent result to enforce against")
+		}
+		if twin.TicksPerSec < b.TwinSessionsMinTicksPerSec {
+			return fmt.Errorf("twin_sessions_concurrent %.0f ticks/sec below floor %.0f",
+				twin.TicksPerSec, b.TwinSessionsMinTicksPerSec)
 		}
 	}
 	return nil
@@ -581,6 +608,89 @@ func benchServeCacheHit() (Result, error) {
 		return Result{}, fmt.Errorf("server recorded %d hits for %d benchmarked requests", st.CacheHits, br.N)
 	}
 	return Result{Iterations: br.N, NsPerOp: nsPerOp(br)}, nil
+}
+
+// benchTwinSessions measures the digital-twin serving path under
+// concurrency: several sessions stepped in parallel over HTTP, each
+// walking the delivery cycle in batches — registry lookups, per-session
+// locking, the bounded queue and the summary marshalling all inside the
+// measured number. ticks_per_sec aggregates across twins.
+func benchTwinSessions(quick bool) (Result, error) {
+	srv := serve.New(serve.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	const (
+		twins = 8
+		batch = 50
+	)
+	batches := 24 // 1200 ticks/twin = 600 s of the 900 s delivery cycle
+	if quick {
+		batches = 6
+	}
+	post := func(path, body string) error {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+			return fmt.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		return nil
+	}
+	ids := make([]string, twins)
+	for i := range ids {
+		resp, err := http.Post(ts.URL+"/v1/sessions", "application/json",
+			strings.NewReader(`{"scheme":"inor","modules":100}`))
+		if err != nil {
+			return Result{}, err
+		}
+		var out struct {
+			Session struct {
+				ID string `json:"id"`
+			} `json:"session"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil || out.Session.ID == "" {
+			return Result{}, fmt.Errorf("creating twin %d: %v", i, err)
+		}
+		ids[i] = out.Session.ID
+	}
+	stepBody := fmt.Sprintf(`{"cycle":"delivery","ticks":%d}`, batch)
+	var wg sync.WaitGroup
+	errs := make(chan error, twins)
+	start := time.Now()
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				if err := post("/v1/sessions/"+id+"/step", stepBody); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	if err := <-errs; err != nil {
+		return Result{}, err
+	}
+	total := int64(twins * batches * batch)
+	if got := srv.Stats().SessionSteps; got != total {
+		return Result{}, fmt.Errorf("server accounted %d session steps, want %d", got, total)
+	}
+	r := Result{Iterations: twins * batches, NsPerOp: float64(elapsed.Nanoseconds()) / float64(twins*batches)}
+	if secs := elapsed.Seconds(); secs > 0 {
+		r.TicksPerSec = float64(total) / secs
+	}
+	return r, nil
 }
 
 // fromBenchmark converts a testing.BenchmarkResult.

@@ -7,12 +7,14 @@
 //
 //	tegserve [-addr :8080] [-max-concurrent 0] [-max-queued 64]
 //	         [-workers 0] [-cache 256] [-cache-mb 256] [-drain-timeout 15s]
+//	         [-max-sessions 64] [-session-ttl 30m]
 //
 // Quick look:
 //
 //	tegserve -addr 127.0.0.1:8080 &
 //	curl -s localhost:8080/v1/schemes
 //	curl -s -N -d '{"cycle":"wltc","scheme":"dnor","duration_s":60,"stream":true}' localhost:8080/v1/runs
+//	curl -s -d '{"scheme":"dnor","modules":50}' localhost:8080/v1/sessions
 //	curl -s localhost:8080/metrics
 //
 // SIGINT/SIGTERM drain gracefully: in-flight simulations abort within
@@ -43,6 +45,8 @@ func main() {
 		cacheSize    = flag.Int("cache", 256, "content-addressed result cache entries (negative disables)")
 		cacheMB      = flag.Int64("cache-mb", 256, "result cache byte budget in MiB")
 		maxTicks     = flag.Int("max-ticks", 0, "per-job simulated control period limit (0 = 200000)")
+		maxSessions  = flag.Int("max-sessions", 0, "simultaneously open digital-twin sessions (0 = 64)")
+		sessionTTL   = flag.Duration("session-ttl", 0, "evict twin sessions idle this long (0 = 30m)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown deadline")
 		drainGrace   = flag.Duration("drain-grace", 0, "keep the listener open this long after the drain starts so LB health probes observe the 503")
 	)
@@ -60,6 +64,8 @@ func main() {
 		CacheEntries:   *cacheSize,
 		CacheBytes:     *cacheMB << 20,
 		MaxTicksPerJob: *maxTicks,
+		MaxSessions:    *maxSessions,
+		SessionIdleTTL: *sessionTTL,
 		DrainGrace:     *drainGrace,
 	})
 	l, err := net.Listen("tcp", *addr)

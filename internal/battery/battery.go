@@ -67,3 +67,46 @@ func (b *LeadAcid) AbsorbedJoules() float64 { return b.absorbed }
 
 // Full reports whether the battery cannot accept more charge.
 func (b *LeadAcid) Full() bool { return b.SoC >= 1-1e-12 }
+
+// State is the complete serializable state of a LeadAcid battery: the
+// model parameters plus the two integrators (state of charge and total
+// absorbed energy). Capturing and restoring it reproduces the battery
+// bit-for-bit — Accept is a pure update over these fields.
+type State struct {
+	CapacityWh   float64
+	SoC          float64
+	ChargeEff    float64
+	FloatVoltage float64
+	AbsorbedJ    float64
+}
+
+// State snapshots the battery for a checkpoint.
+func (b *LeadAcid) State() State {
+	return State{
+		CapacityWh:   b.CapacityWh,
+		SoC:          b.SoC,
+		ChargeEff:    b.ChargeEff,
+		FloatVoltage: b.FloatVoltage,
+		AbsorbedJ:    b.absorbed,
+	}
+}
+
+// FromState rebuilds a battery from a snapshot.
+func FromState(st State) (*LeadAcid, error) {
+	if st.SoC < 0 || st.SoC > 1 {
+		return nil, fmt.Errorf("battery: snapshot SoC %g outside [0,1]", st.SoC)
+	}
+	if st.CapacityWh <= 0 || st.ChargeEff <= 0 || st.ChargeEff > 1 {
+		return nil, fmt.Errorf("battery: snapshot capacity %g Wh / efficiency %g out of range", st.CapacityWh, st.ChargeEff)
+	}
+	if st.AbsorbedJ < 0 {
+		return nil, fmt.Errorf("battery: snapshot absorbed energy %g J negative", st.AbsorbedJ)
+	}
+	return &LeadAcid{
+		CapacityWh:   st.CapacityWh,
+		SoC:          st.SoC,
+		ChargeEff:    st.ChargeEff,
+		FloatVoltage: st.FloatVoltage,
+		absorbed:     st.AbsorbedJ,
+	}, nil
+}

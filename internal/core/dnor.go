@@ -102,6 +102,11 @@ func (c *DNOR) adopt(cand array.Config) {
 // Name implements Controller.
 func (c *DNOR) Name() string { return "DNOR" }
 
+// HorizonTicks reports the prediction horizon tp the controller was
+// built with — recorded into session checkpoints so a restored session
+// can rebuild an identically configured DNOR.
+func (c *DNOR) HorizonTicks() int { return c.horizon }
+
 // Reset implements Controller.
 func (c *DNOR) Reset() {
 	c.haveCur = false

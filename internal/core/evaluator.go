@@ -93,6 +93,12 @@ type Decision struct {
 // Controller is the common interface of INOR, DNOR, EHTR and the static
 // baseline. Decide is invoked once per control period with the sensed
 // per-module hot-side temperatures.
+//
+// Checkpoint contract: a controller that carries state across control
+// periods (an incumbent configuration, predictor history) must also
+// implement StateCarrier, or sessions using it cannot be checkpointed
+// faithfully — the checkpoint machinery treats non-carriers as
+// memoryless (which INOR, EHTR and the baseline genuinely are).
 type Controller interface {
 	// Name labels the scheme in reports ("DNOR", "INOR", …).
 	Name() string

@@ -82,6 +82,13 @@ func RandomPlan(n int, count int, duration float64, seed int64) (*Plan, error) {
 // Len returns the number of scheduled events.
 func (p *Plan) Len() int { return len(p.events) }
 
+// Events returns a copy of the schedule in replay order — the
+// serialization surface for session checkpoints: NewPlan(p.Modules(),
+// p.Events()) reconstructs an equivalent plan, and replaying it up to
+// any time t yields the identical health vector (transitions are
+// idempotent and time-ordered).
+func (p *Plan) Events() []Event { return append([]Event(nil), p.events...) }
+
 // Modules returns the module count the plan was built for.
 func (p *Plan) Modules() int { return p.n }
 

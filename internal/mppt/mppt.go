@@ -160,6 +160,36 @@ func (t *Tracker) Track(f PowerFunc) Result {
 	return Result{Current: i, Power: p, Iterations: iters, Converged: converged}
 }
 
+// TrackerState is the complete serializable state of a Tracker — its
+// tuning and its warm-start memory. Capturing and restoring it around a
+// process boundary reproduces the tracker bit-for-bit, which the
+// simulator's session checkpoints (sim.SessionState) rely on: Track's
+// walk is a pure function of (Options, last, ok) and the power curve.
+type TrackerState struct {
+	Options Options
+	// Last is the previous converged current command; meaningful only
+	// when OK is set.
+	Last float64
+	// OK marks Last as a valid warm-start point.
+	OK bool
+}
+
+// State snapshots the tracker for a checkpoint.
+func (t *Tracker) State() TrackerState {
+	return TrackerState{Options: t.opts, Last: t.last, OK: t.ok}
+}
+
+// FromState rebuilds a tracker from a snapshot, validating the tuning
+// the same way New does.
+func FromState(st TrackerState) (*Tracker, error) {
+	tr, err := New(st.Options)
+	if err != nil {
+		return nil, err
+	}
+	tr.last, tr.ok = st.Last, st.OK
+	return tr, nil
+}
+
 // SettleIterations estimates how many perturbations a cold-start track
 // of f needs to converge; the simulator uses it to scale the MPPT
 // portion of the timing overhead after a reconfiguration.

@@ -204,6 +204,29 @@ func (m *MLR) Predict(horizon int) ([][]float64, error) {
 	return rollForward(m.hist, m.order, horizon, step), nil
 }
 
+// CaptureHistory implements HistoryCarrier: the retained sliding
+// window, oldest first, as caller-owned copies.
+func (m *MLR) CaptureHistory() [][]float64 {
+	out := make([][]float64, m.hist.Len())
+	for i := range out {
+		out[i] = append([]float64(nil), m.hist.Tick(i)...)
+	}
+	return out
+}
+
+// RestoreHistory implements HistoryCarrier: replay a captured window
+// into this instance. The coefficients are left stale on purpose — the
+// next Predict refits them from the restored window, which is
+// deterministic and therefore reproduces the pre-capture model exactly.
+func (m *MLR) RestoreHistory(window [][]float64) error {
+	for _, row := range window {
+		if err := m.Observe(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Coefficients returns a copy of the fitted weights (lags then
 // intercept); nil before the first fit. Exposed for tests and analysis.
 func (m *MLR) Coefficients() []float64 {

@@ -37,6 +37,26 @@ type Predictor interface {
 	Predict(horizon int) ([][]float64, error)
 }
 
+// HistoryCarrier is the optional checkpoint interface of a Predictor:
+// a predictor whose model is refit deterministically from its sliding
+// observation window implements it, and capturing + restoring the
+// window then reproduces every future Predict bit-for-bit. MLR — the
+// paper's choice and the scheme registry's default — qualifies: its
+// coefficients are a pure function of the retained history, so the
+// restored instance refits to the identical model on first use.
+// Predictors with hidden state outside the window (a trained BPNN's
+// weights depend on initialization order) simply do not implement the
+// interface, and sessions using them report themselves as not
+// checkpointable instead of restoring wrong.
+type HistoryCarrier interface {
+	// CaptureHistory returns the retained observation window, oldest
+	// first. The rows are copies owned by the caller.
+	CaptureHistory() [][]float64
+	// RestoreHistory replays a captured window into a freshly built
+	// predictor, as if each row had been Observed in order.
+	RestoreHistory(window [][]float64) error
+}
+
 // History is a bounded sliding window of temperature distributions
 // shared by the predictor implementations.
 type History struct {

@@ -85,48 +85,29 @@ func tickFromJSON(t tickJSON) sim.Tick {
 	}
 }
 
-// MarshalResult encodes a run result as compact versioned JSON. The
-// encoding is deterministic: the same Result always marshals to the
-// same bytes.
-func MarshalResult(r *sim.Result) ([]byte, error) {
-	if r == nil {
-		return nil, fmt.Errorf("report: nil result")
-	}
-	env := resultEnvelope{
-		Version: ResultVersion,
-		Result: resultJSON{
-			Scheme:        r.Scheme,
-			EnergyOutJ:    r.EnergyOutJ,
-			OverheadJ:     r.OverheadJ,
-			SwitchEvents:  r.SwitchEvents,
-			SwitchToggles: r.SwitchToggles,
-			AvgRuntimeNS:  int64(r.AvgRuntime),
-			MaxRuntimeNS:  int64(r.MaxRuntime),
-			IdealEnergyJ:  r.IdealEnergyJ,
-			AvgTEGEff:     r.AvgTEGEff,
-			BatteryJ:      r.BatteryJ,
-		},
+func resultToJSON(r *sim.Result) resultJSON {
+	j := resultJSON{
+		Scheme:        r.Scheme,
+		EnergyOutJ:    r.EnergyOutJ,
+		OverheadJ:     r.OverheadJ,
+		SwitchEvents:  r.SwitchEvents,
+		SwitchToggles: r.SwitchToggles,
+		AvgRuntimeNS:  int64(r.AvgRuntime),
+		MaxRuntimeNS:  int64(r.MaxRuntime),
+		IdealEnergyJ:  r.IdealEnergyJ,
+		AvgTEGEff:     r.AvgTEGEff,
+		BatteryJ:      r.BatteryJ,
 	}
 	if len(r.Ticks) > 0 {
-		env.Result.Ticks = make([]tickJSON, len(r.Ticks))
+		j.Ticks = make([]tickJSON, len(r.Ticks))
 		for i, t := range r.Ticks {
-			env.Result.Ticks[i] = tickToJSON(t)
+			j.Ticks[i] = tickToJSON(t)
 		}
 	}
-	return json.Marshal(env)
+	return j
 }
 
-// UnmarshalResult decodes MarshalResult's output back into a Result,
-// rejecting unknown schema versions.
-func UnmarshalResult(b []byte) (*sim.Result, error) {
-	var env resultEnvelope
-	if err := json.Unmarshal(b, &env); err != nil {
-		return nil, fmt.Errorf("report: decoding result: %w", err)
-	}
-	if env.Version != ResultVersion {
-		return nil, fmt.Errorf("report: result schema version %d, want %d", env.Version, ResultVersion)
-	}
-	j := env.Result
+func resultFromJSON(j resultJSON) *sim.Result {
 	r := &sim.Result{
 		Scheme:        j.Scheme,
 		EnergyOutJ:    j.EnergyOutJ,
@@ -145,7 +126,30 @@ func UnmarshalResult(b []byte) (*sim.Result, error) {
 			r.Ticks[i] = tickFromJSON(t)
 		}
 	}
-	return r, nil
+	return r
+}
+
+// MarshalResult encodes a run result as compact versioned JSON. The
+// encoding is deterministic: the same Result always marshals to the
+// same bytes.
+func MarshalResult(r *sim.Result) ([]byte, error) {
+	if r == nil {
+		return nil, fmt.Errorf("report: nil result")
+	}
+	return json.Marshal(resultEnvelope{Version: ResultVersion, Result: resultToJSON(r)})
+}
+
+// UnmarshalResult decodes MarshalResult's output back into a Result,
+// rejecting unknown schema versions.
+func UnmarshalResult(b []byte) (*sim.Result, error) {
+	var env resultEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return nil, fmt.Errorf("report: decoding result: %w", err)
+	}
+	if env.Version != ResultVersion {
+		return nil, fmt.Errorf("report: result schema version %d, want %d", env.Version, ResultVersion)
+	}
+	return resultFromJSON(env.Result), nil
 }
 
 // MarshalTick encodes one per-control-period record — the serve API's

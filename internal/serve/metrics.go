@@ -17,13 +17,27 @@ import (
 // metrics holds the server's monotonic counters. Gauges (queue depth,
 // active sessions, cache entries) are read live from their owners.
 type metrics struct {
-	start        time.Time
-	ticks        atomic.Int64 // control periods simulated, all jobs
-	computations atomic.Int64 // jobs actually executed (cache/coalesce misses)
-	runs         atomic.Int64 // POST /v1/runs accepted
-	sweeps       atomic.Int64 // POST /v1/sweeps accepted
-	coalesced    atomic.Int64 // requests served by waiting on an identical in-flight job
-	streams      atomic.Int64 // live SSE streams (gauge)
+	start            time.Time
+	ticks            atomic.Int64 // control periods simulated, all jobs
+	computations     atomic.Int64 // jobs actually executed (cache/coalesce misses)
+	runs             atomic.Int64 // POST /v1/runs accepted
+	sweeps           atomic.Int64 // POST /v1/sweeps accepted
+	coalesced        atomic.Int64 // requests served by waiting on an identical in-flight job
+	streams          atomic.Int64 // live SSE streams (gauge)
+	jobs             atomic.Int64 // jobs whose execution time landed in jobNanos
+	jobNanos         atomic.Int64 // cumulative job execution time (Retry-After's numerator)
+	sessionsCreated  atomic.Int64 // twin sessions opened (fresh and restored)
+	sessionsRestored atomic.Int64 // twin sessions opened from a checkpoint
+	sessionsEvicted  atomic.Int64 // twin sessions evicted past the idle TTL
+	sessionSteps     atomic.Int64 // control periods applied through /v1/sessions/{id}/step
+	checkpoints      atomic.Int64 // checkpoint payloads served
+}
+
+// observeJob folds one job's execution time into the mean the 503
+// Retry-After derivation uses.
+func (m *metrics) observeJob(d time.Duration) {
+	m.jobNanos.Add(int64(d))
+	m.jobs.Add(1)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -39,6 +53,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"active_sessions": s.q.active(),
 		"queue_depth":     s.q.depth(),
 		"cache_entries":   s.cache.len(),
+		"twin_sessions":   s.sessions.len(),
 	})
 }
 
@@ -62,6 +77,13 @@ type Stats struct {
 	Ticks          int64   // control periods simulated across all jobs
 	TicksPerSecond float64 // lifetime mean simulated ticks per wall-clock second
 	CacheHitRatio  float64 // lifetime hit ratio, 0 when no lookups yet
+
+	TwinSessions     int   // twin sessions currently open
+	SessionsCreated  int64 // twin sessions opened (fresh and restored)
+	SessionsRestored int64 // twin sessions opened from a checkpoint
+	SessionsEvicted  int64 // twin sessions evicted past the idle TTL
+	SessionSteps     int64 // control periods applied through session steps
+	Checkpoints      int64 // checkpoint payloads served
 }
 
 // Stats snapshots the server's counters. The counters are independent
@@ -83,6 +105,13 @@ func (s *Server) Stats() Stats {
 		CacheEntries:   s.cache.len(),
 		CacheBytes:     s.cache.size(),
 		Ticks:          s.met.ticks.Load(),
+
+		TwinSessions:     s.sessions.len(),
+		SessionsCreated:  s.met.sessionsCreated.Load(),
+		SessionsRestored: s.met.sessionsRestored.Load(),
+		SessionsEvicted:  s.met.sessionsEvicted.Load(),
+		SessionSteps:     s.met.sessionSteps.Load(),
+		Checkpoints:      s.met.checkpoints.Load(),
 	}
 	if hits+misses > 0 {
 		st.CacheHitRatio = float64(hits) / float64(hits+misses)
@@ -122,6 +151,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"tegserve_cache_hit_ratio", "Lifetime cache hit ratio.", "gauge", st.CacheHitRatio},
 		{"tegserve_ticks_total", "Control periods simulated across all jobs.", "counter", st.Ticks},
 		{"tegserve_ticks_per_second", "Lifetime mean simulated control periods per wall-clock second.", "gauge", st.TicksPerSecond},
+		{"tegserve_twin_sessions", "Digital-twin sessions currently open.", "gauge", st.TwinSessions},
+		{"tegserve_twin_sessions_max", "Maximum simultaneously open twin sessions.", "gauge", s.cfg.MaxSessions},
+		{"tegserve_twin_sessions_created_total", "Twin sessions opened (fresh and restored).", "counter", st.SessionsCreated},
+		{"tegserve_twin_sessions_restored_total", "Twin sessions opened from a checkpoint.", "counter", st.SessionsRestored},
+		{"tegserve_twin_sessions_evicted_total", "Twin sessions evicted past the idle TTL.", "counter", st.SessionsEvicted},
+		{"tegserve_twin_session_steps_total", "Control periods applied through session steps.", "counter", st.SessionSteps},
+		{"tegserve_twin_checkpoints_total", "Checkpoint payloads served.", "counter", st.Checkpoints},
 	}
 	for _, m := range rows {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)

@@ -15,6 +15,8 @@
 //	POST /v1/runs     one scheme over one cycle (JSON result, or SSE
 //	                  tick stream with "stream": true)
 //	POST /v1/sweeps   cycle × scheme matrix on the batch engine
+//	/v1/sessions…     long-lived digital-twin sessions with bit-exact
+//	                  checkpoint/restore (see sessions.go)
 //	GET  /healthz     liveness (503 while draining)
 //	GET  /metrics     Prometheus text: queue depth, cache hit rate,
 //	                  active sessions, ticks/sec
@@ -22,13 +24,17 @@
 // Shutdown reuses the simulator's context plumbing end to end: Drain
 // cancels every in-flight job's context, each aborts within one
 // control period (streams close with an `error` event), and Serve's
-// http.Server.Shutdown then completes with nothing left running.
+// http.Server.Shutdown then completes with nothing left running. Open
+// twin sessions are sealed instead of killed: steps are refused but
+// checkpoints stay fetchable through the DrainGrace window, so clients
+// move their twins to another instance without losing state.
 package serve
 
 import (
 	"context"
 	"encoding/json"
 	"errors"
+	"math"
 	"net"
 	"net/http"
 	"runtime"
@@ -66,6 +72,13 @@ type Config struct {
 	MaxTicksPerJob int
 	// MaxModules rejects requests for larger arrays (0 → 500).
 	MaxModules int
+	// MaxSessions bounds simultaneously open digital-twin sessions;
+	// creates beyond the cap are shed with 503 (0 → 64).
+	MaxSessions int
+	// SessionIdleTTL evicts twin sessions untouched for this long. The
+	// sweep is opportunistic — it runs on session creates and lists, so
+	// the server holds no background goroutine (0 → 30 min).
+	SessionIdleTTL time.Duration
 	// DrainGrace holds the listener open for this long after Drain
 	// before Shutdown closes it, so load balancers probing /healthz
 	// over fresh connections observe the 503 and rotate the instance
@@ -99,36 +112,50 @@ func (c Config) withDefaults() Config {
 	if c.MaxModules <= 0 {
 		c.MaxModules = 500
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.SessionIdleTTL <= 0 {
+		c.SessionIdleTTL = 30 * time.Minute
+	}
 	return c
 }
 
 // Server is the simulation service. Create one with New, mount
 // Handler on any http.Server, or let Serve own the listener lifecycle.
 type Server struct {
-	cfg     Config
-	q       *queue
-	cache   *cache
-	flights flightGroup
-	met     metrics
-	mux     *http.ServeMux
-	drainCh chan struct{}
+	cfg      Config
+	q        *queue
+	cache    *cache
+	flights  flightGroup
+	met      metrics
+	mux      *http.ServeMux
+	drainCh  chan struct{}
+	sessions *sessionRegistry
 }
 
 // New builds a server with the given bounds.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		q:       newQueue(cfg.MaxConcurrent, cfg.MaxQueued),
-		cache:   newCache(cfg.CacheEntries, cfg.CacheBytes),
-		met:     metrics{start: time.Now()},
-		mux:     http.NewServeMux(),
-		drainCh: make(chan struct{}),
+		cfg:      cfg,
+		q:        newQueue(cfg.MaxConcurrent, cfg.MaxQueued),
+		cache:    newCache(cfg.CacheEntries, cfg.CacheBytes),
+		met:      metrics{start: time.Now()},
+		mux:      http.NewServeMux(),
+		drainCh:  make(chan struct{}),
+		sessions: newSessionRegistry(cfg.MaxSessions, cfg.SessionIdleTTL),
 	}
 	s.mux.HandleFunc("GET /v1/cycles", s.handleCycles)
 	s.mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
 	s.mux.HandleFunc("POST /v1/runs", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleSessionList)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleSessionStep)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/checkpoint", s.handleSessionCheckpoint)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -217,17 +244,39 @@ func (s *Server) detachedJobContext() (context.Context, context.CancelFunc) {
 
 // --- response helpers ---
 
-func writeJSONError(w http.ResponseWriter, status int, msg string) {
+// retryAfterSeconds derives a 503's Retry-After from the live load:
+// queue depth × the observed mean job execution time, clamped to
+// [1, 30] seconds. An idle or newly started server (no jobs observed
+// yet, or an empty queue) advises the 1 s floor; a deep queue of slow
+// sweeps advises up to the 30 s ceiling instead of inviting every shed
+// client back while the backlog is still draining.
+func (s *Server) retryAfterSeconds() int {
+	jobs := s.met.jobs.Load()
+	if jobs == 0 {
+		return 1
+	}
+	meanS := (time.Duration(s.met.jobNanos.Load()) / time.Duration(jobs)).Seconds()
+	secs := int(math.Ceil(float64(s.q.depth()) * meanS))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+func (s *Server) writeJSONError(w http.ResponseWriter, status int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	if status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	}
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
-func writeHTTPError(w http.ResponseWriter, err *httpError) {
-	writeJSONError(w, err.status, err.msg)
+func (s *Server) writeHTTPError(w http.ResponseWriter, err *httpError) {
+	s.writeJSONError(w, err.status, err.msg)
 }
 
 // writeJobError maps an execution failure onto a status: shed load and
@@ -235,13 +284,13 @@ func writeHTTPError(w http.ResponseWriter, err *httpError) {
 func (s *Server) writeJobError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, errQueueFull):
-		writeJSONError(w, http.StatusServiceUnavailable, "job queue full, retry later")
+		s.writeJSONError(w, http.StatusServiceUnavailable, "job queue full, retry later")
 	case errors.Is(err, context.Canceled) && s.Draining():
-		writeJSONError(w, http.StatusServiceUnavailable, "server draining")
+		s.writeJSONError(w, http.StatusServiceUnavailable, "server draining")
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
+		s.writeJSONError(w, http.StatusServiceUnavailable, err.Error())
 	default:
-		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		s.writeJSONError(w, http.StatusInternalServerError, err.Error())
 	}
 }
 
@@ -330,6 +379,8 @@ func (s *Server) runPayload(ctx context.Context, p runParams) ([]byte, error) {
 	}
 	defer s.q.release()
 	s.met.computations.Add(1)
+	started := time.Now()
+	defer func() { s.met.observeJob(time.Since(started)) }()
 	res, err := s.executeRun(ctx, p, nil)
 	if err != nil {
 		return nil, err
@@ -340,7 +391,7 @@ func (s *Server) runPayload(ctx context.Context, p runParams) ([]byte, error) {
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req RunRequest
 	if herr := decodeJSON(w, r, &req); herr != nil {
-		writeHTTPError(w, herr)
+		s.writeHTTPError(w, herr)
 		return
 	}
 	// The Accept header is the second way to ask for a stream; fold it
@@ -353,11 +404,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	p, herr := s.normalizeRun(req)
 	if herr != nil {
-		writeHTTPError(w, herr)
+		s.writeHTTPError(w, herr)
 		return
 	}
 	if s.Draining() {
-		writeJSONError(w, http.StatusServiceUnavailable, "server draining")
+		s.writeJSONError(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
 	s.met.runs.Add(1)
@@ -426,12 +477,14 @@ func (s *Server) streamRun(w http.ResponseWriter, r *http.Request, p runParams, 
 	defer s.q.release()
 	ew, err := newEventWriter(w)
 	if err != nil {
-		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		s.writeJSONError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	s.met.streams.Add(1)
 	defer s.met.streams.Add(-1)
 	s.met.computations.Add(1)
+	started := time.Now()
+	defer func() { s.met.observeJob(time.Since(started)) }()
 
 	start, _ := json.Marshal(map[string]any{
 		"key":        key,
@@ -498,6 +551,8 @@ func (s *Server) sweepPayload(ctx context.Context, p sweepParams) ([]byte, error
 	}
 	defer s.q.release()
 	s.met.computations.Add(1)
+	started := time.Now()
+	defer func() { s.met.observeJob(time.Since(started)) }()
 	sys := sim.DefaultSystem()
 	sys.Modules = p.modules
 	opts := sim.DefaultOptions()
@@ -523,16 +578,16 @@ func (s *Server) sweepPayload(ctx context.Context, p sweepParams) ([]byte, error
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if herr := decodeJSON(w, r, &req); herr != nil {
-		writeHTTPError(w, herr)
+		s.writeHTTPError(w, herr)
 		return
 	}
 	p, herr := s.normalizeSweep(req)
 	if herr != nil {
-		writeHTTPError(w, herr)
+		s.writeHTTPError(w, herr)
 		return
 	}
 	if s.Draining() {
-		writeJSONError(w, http.StatusServiceUnavailable, "server draining")
+		s.writeJSONError(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
 	s.met.sweeps.Add(1)

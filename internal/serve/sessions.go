@@ -1,0 +1,584 @@
+// Digital-twin sessions: long-lived sim.Sessions held open across
+// requests, so a client can mirror a vehicle that exists in real time —
+// feed the boundary conditions its sensors actually measured, tick by
+// tick or in batches, and read the accumulated energy ledger at any
+// point. This is the interactive counterpart to /v1/runs' replay-then-
+// answer shape, and the serving surface for the Session engine's
+// checkpoint subsystem (sim.Snapshot / sim.RestoreSession encoded by
+// report.MarshalCheckpoint):
+//
+//	POST   /v1/sessions                  create (fresh, or restore with
+//	                                     "from_checkpoint")
+//	GET    /v1/sessions                  list open sessions
+//	GET    /v1/sessions/{id}             summary
+//	POST   /v1/sessions/{id}/step        advance: explicit conditions,
+//	                                     a named cycle, or a CSV log
+//	GET    /v1/sessions/{id}/checkpoint  versioned checkpoint JSON
+//	DELETE /v1/sessions/{id}             close
+//
+// Registry discipline: at most Config.MaxSessions live at once
+// (creates beyond the cap are shed with 503), and sessions idle past
+// Config.SessionIdleTTL are evicted opportunistically on the next
+// create or list — no janitor goroutine, so the server still quiesces
+// completely between requests.
+//
+// Ownership rule (the result-aliasing fix this subsystem enforces):
+// sim.Session.Result returns the live accumulator, mutated in place by
+// every Step. Any Result that escapes a handler — summary fields,
+// checkpoint payloads — is taken via Result().Clone() *under the
+// per-session mutex that serializes Step*, so a concurrent step can
+// never mutate a payload mid-marshal (pinned by a -race test).
+//
+// Drain semantics: a draining server refuses further steps (the twin
+// is sealed) but keeps summaries and checkpoints readable through the
+// grace window, so clients checkpoint their sessions and re-create
+// them elsewhere — checkpoint-and-close, not data loss.
+
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"tegrecon/internal/drive"
+	"tegrecon/internal/report"
+	"tegrecon/internal/sim"
+	"tegrecon/internal/thermal"
+)
+
+// twinSession is one registry entry: a live sim.Session plus the mutex
+// that serializes every touch of it. All engine access — Step,
+// Snapshot, Result — happens under mu; registry bookkeeping (lastUsed)
+// is guarded by the registry's own lock.
+type twinSession struct {
+	id      string
+	scheme  string
+	modules int
+	created time.Time
+
+	mu   sync.Mutex // serializes Step / Snapshot / Result on sess
+	sess *sim.Session
+}
+
+// sessionRegistry is the bounded id → twinSession table.
+type sessionRegistry struct {
+	mu       sync.Mutex
+	entries  map[string]*twinSession
+	lastUsed map[string]time.Time
+	max      int
+	ttl      time.Duration
+}
+
+func newSessionRegistry(max int, ttl time.Duration) *sessionRegistry {
+	return &sessionRegistry{
+		entries:  make(map[string]*twinSession),
+		lastUsed: make(map[string]time.Time),
+		max:      max,
+		ttl:      ttl,
+	}
+}
+
+// sweepLocked evicts entries idle past the TTL. Callers hold r.mu.
+func (r *sessionRegistry) sweepLocked(now time.Time) (evicted int) {
+	for id, used := range r.lastUsed {
+		if now.Sub(used) > r.ttl {
+			delete(r.entries, id)
+			delete(r.lastUsed, id)
+			evicted++
+		}
+	}
+	return evicted
+}
+
+// add sweeps idle sessions, then admits the entry if the cap allows.
+func (r *sessionRegistry) add(e *twinSession, now time.Time) (evicted int, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	evicted = r.sweepLocked(now)
+	if len(r.entries) >= r.max {
+		return evicted, false
+	}
+	r.entries[e.id] = e
+	r.lastUsed[e.id] = now
+	return evicted, true
+}
+
+// get returns the entry and refreshes its idle clock.
+func (r *sessionRegistry) get(id string, now time.Time) (*twinSession, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if ok {
+		r.lastUsed[id] = now
+	}
+	return e, ok
+}
+
+// remove deletes the entry, reporting whether it existed.
+func (r *sessionRegistry) remove(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.entries[id]
+	delete(r.entries, id)
+	delete(r.lastUsed, id)
+	return ok
+}
+
+// list sweeps, then returns the surviving entries with their idle
+// clocks, sorted by id for a stable response.
+func (r *sessionRegistry) list(now time.Time) ([]*twinSession, []time.Time, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	evicted := r.sweepLocked(now)
+	out := make([]*twinSession, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	used := make([]time.Time, len(out))
+	for i, e := range out {
+		used[i] = r.lastUsed[e.id]
+	}
+	return out, used, evicted
+}
+
+func (r *sessionRegistry) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+func newSessionID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return "tw-" + hex.EncodeToString(b[:]), nil
+}
+
+// --- request / response schema ---
+
+// SessionCreateRequest is the POST /v1/sessions body. Either a fresh
+// session (scheme plus the usual physics knobs, same defaults as
+// /v1/runs) or a restore: "from_checkpoint" carries the verbatim
+// payload of GET /v1/sessions/{id}/checkpoint and excludes every other
+// field — a checkpoint already fixes the physics, and silently
+// overriding part of it would break the bit-exact resume contract.
+type SessionCreateRequest struct {
+	Scheme       string   `json:"scheme,omitempty"`
+	TickS        float64  `json:"tick_s,omitempty"`
+	Seed         *int64   `json:"seed,omitempty"`
+	SensorNoiseC *float64 `json:"sensor_noise_c,omitempty"`
+	Modules      int      `json:"modules,omitempty"`
+	HorizonTicks int      `json:"horizon_ticks,omitempty"`
+	Battery      bool     `json:"battery,omitempty"`
+	// DeterministicRuntime defaults to true; it is also the condition
+	// for a checkpointed twin to replay bit-exactly after restore.
+	DeterministicRuntime *bool `json:"deterministic_runtime,omitempty"`
+	// Ticks keeps the per-control-period records in the session result
+	// (and therefore in its checkpoints).
+	Ticks bool `json:"ticks,omitempty"`
+	// FromCheckpoint restores a session from a checkpoint payload.
+	FromCheckpoint json.RawMessage `json:"from_checkpoint,omitempty"`
+}
+
+// SessionStepRequest is the POST /v1/sessions/{id}/step body. Exactly
+// one condition source:
+//
+//   - "conditions": explicit boundary conditions, one per control
+//     period — the live-mirror path.
+//   - "cycle" (+ "ticks", default 1): sample a registered drive cycle
+//     at the session's own clock, so repeated steps walk through the
+//     cycle; stepping past its end is a 400.
+//   - "csv" (+ "channel", + "ticks"): same, over an uploaded speed log
+//     in the trace CSV format (drive.ReadSchedule).
+type SessionStepRequest struct {
+	Conditions []ConditionsJSON `json:"conditions,omitempty"`
+	Cycle      string           `json:"cycle,omitempty"`
+	CSV        string           `json:"csv,omitempty"`
+	Channel    string           `json:"channel,omitempty"`
+	Ticks      int              `json:"ticks,omitempty"`
+	// ReturnTicks includes every applied tick in the response instead
+	// of just the last one.
+	ReturnTicks bool `json:"return_ticks,omitempty"`
+}
+
+// ConditionsJSON is thermal.Conditions on the wire.
+type ConditionsJSON struct {
+	CoolantInletC  float64 `json:"coolant_inlet_c"`
+	CoolantFlowKgS float64 `json:"coolant_flow_kgs"`
+	AirInletC      float64 `json:"air_inlet_c"`
+	AirFlowKgS     float64 `json:"air_flow_kgs"`
+}
+
+func (c ConditionsJSON) conditions() thermal.Conditions {
+	return thermal.Conditions{
+		CoolantInletC:  c.CoolantInletC,
+		CoolantFlowKgS: c.CoolantFlowKgS,
+		AirInletC:      c.AirInletC,
+		AirFlowKgS:     c.AirFlowKgS,
+	}
+}
+
+// sessionSummary is the GET /v1/sessions/{id} body (and the "session"
+// object other session responses embed): identity, clock position and
+// the accumulated ledger.
+type sessionSummary struct {
+	ID           string  `json:"id"`
+	Scheme       string  `json:"scheme"`
+	Modules      int     `json:"modules"`
+	Steps        int     `json:"steps"`
+	NowS         float64 `json:"now_s"`
+	EnergyOutJ   float64 `json:"energy_out_j"`
+	OverheadJ    float64 `json:"overhead_j"`
+	SwitchEvents int     `json:"switch_events"`
+	AvgTEGEff    float64 `json:"avg_teg_eff"`
+	BatteryJ     float64 `json:"battery_j"`
+	AgeS         float64 `json:"age_s"`
+}
+
+// summary reads the session under its lock. The Result escapes the
+// lock as a clone — never the live accumulator.
+func (e *twinSession) summary(now time.Time) sessionSummary {
+	e.mu.Lock()
+	steps, nowS := e.sess.Steps(), e.sess.Now()
+	res := e.sess.Result().Clone()
+	e.mu.Unlock()
+	return sessionSummary{
+		ID:           e.id,
+		Scheme:       e.scheme,
+		Modules:      e.modules,
+		Steps:        steps,
+		NowS:         nowS,
+		EnergyOutJ:   res.EnergyOutJ,
+		OverheadJ:    res.OverheadJ,
+		SwitchEvents: res.SwitchEvents,
+		AvgTEGEff:    res.AvgTEGEff,
+		BatteryJ:     res.BatteryJ,
+		AgeS:         now.Sub(e.created).Seconds(),
+	}
+}
+
+// --- handlers ---
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req SessionCreateRequest
+	if herr := decodeJSON(w, r, &req); herr != nil {
+		s.writeHTTPError(w, herr)
+		return
+	}
+	if s.Draining() {
+		s.writeJSONError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	var (
+		sess     *sim.Session
+		scheme   string
+		modules  int
+		restored bool
+	)
+	if len(req.FromCheckpoint) > 0 {
+		if req.Scheme != "" || req.TickS != 0 || req.Seed != nil || req.SensorNoiseC != nil ||
+			req.Modules != 0 || req.HorizonTicks != 0 || req.Battery || req.Ticks ||
+			req.DeterministicRuntime != nil {
+			s.writeJSONError(w, http.StatusBadRequest, "from_checkpoint excludes every other field — the checkpoint already fixes the physics")
+			return
+		}
+		st, err := report.UnmarshalCheckpoint(req.FromCheckpoint)
+		if err != nil {
+			s.writeJSONError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if st.Modules < 1 || st.Modules > s.cfg.MaxModules {
+			s.writeJSONError(w, http.StatusBadRequest,
+				fmt.Sprintf("checkpoint modules %d outside 1..%d", st.Modules, s.cfg.MaxModules))
+			return
+		}
+		sys := sim.DefaultSystem()
+		sys.Modules = st.Modules
+		sess, err = sim.RestoreSession(sys, st)
+		if err != nil {
+			s.writeJSONError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		scheme, modules, restored = st.Scheme, st.Modules, true
+	} else {
+		if req.Scheme == "" {
+			s.writeJSONError(w, http.StatusBadRequest, "missing scheme (GET /v1/schemes lists them)")
+			return
+		}
+		sch, err := sim.SchemeByName(req.Scheme)
+		if err != nil {
+			s.writeJSONError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if herr := s.normalizeShared(&req.TickS, &req.Seed, &req.SensorNoiseC, &req.Modules, &req.HorizonTicks); herr != nil {
+			s.writeHTTPError(w, herr)
+			return
+		}
+		sys := sim.DefaultSystem()
+		sys.Modules = req.Modules
+		ctrl, err := sch.New(sys, sim.SchemeConfig{HorizonTicks: req.HorizonTicks, TickSeconds: req.TickS})
+		if err != nil {
+			s.writeJSONError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		opts := sim.DefaultOptions()
+		opts.TickSeconds = req.TickS
+		opts.SensorNoiseC = *req.SensorNoiseC
+		opts.Seed = *req.Seed
+		opts.Battery = req.Battery
+		opts.DeterministicRuntime = req.DeterministicRuntime == nil || *req.DeterministicRuntime
+		opts.KeepTicks = req.Ticks
+		sess, err = sim.NewSession(sys, ctrl, opts)
+		if err != nil {
+			s.writeJSONError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		scheme, modules = sch.Name, req.Modules
+	}
+	id, err := newSessionID()
+	if err != nil {
+		s.writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	now := time.Now()
+	e := &twinSession{id: id, scheme: scheme, modules: modules, created: now, sess: sess}
+	evicted, ok := s.sessions.add(e, now)
+	s.met.sessionsEvicted.Add(int64(evicted))
+	if !ok {
+		s.writeJSONError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("session registry full (%d open), retry later or delete one", s.cfg.MaxSessions))
+		return
+	}
+	s.met.sessionsCreated.Add(1)
+	if restored {
+		s.met.sessionsRestored.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	json.NewEncoder(w).Encode(map[string]any{"session": e.summary(now)})
+}
+
+func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	entries, _, evicted := s.sessions.list(now)
+	s.met.sessionsEvicted.Add(int64(evicted))
+	out := struct {
+		Sessions []sessionSummary `json:"sessions"`
+	}{Sessions: make([]sessionSummary, 0, len(entries))}
+	for _, e := range entries {
+		out.Sessions = append(out.Sessions, e.summary(now))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.sessions.get(r.PathValue("id"), time.Now())
+	if !ok {
+		s.writeJSONError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"session": e.summary(time.Now())})
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.sessions.remove(r.PathValue("id")) {
+		s.writeJSONError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleSessionCheckpoint(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.sessions.get(r.PathValue("id"), time.Now())
+	if !ok {
+		s.writeJSONError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	// Snapshot under the step lock: the state must be a consistent
+	// between-ticks cut, not a torn read of a stepping session.
+	e.mu.Lock()
+	st, err := e.sess.Snapshot()
+	e.mu.Unlock()
+	if err != nil {
+		s.writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	payload, err := report.MarshalCheckpoint(st)
+	if err != nil {
+		s.writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.met.checkpoints.Add(1)
+	writePayload(w, "bypass", payload)
+}
+
+// stepConditions reduces a step request to the explicit condition
+// sequence it asks for, sampling drive sources at the session's own
+// clock so consecutive batches walk the source contiguously.
+func (s *Server) stepConditions(e *twinSession, req SessionStepRequest) ([]thermal.Conditions, *httpError) {
+	sources := 0
+	if len(req.Conditions) > 0 {
+		sources++
+	}
+	if req.Cycle != "" {
+		sources++
+	}
+	if req.CSV != "" {
+		sources++
+	}
+	if sources != 1 {
+		return nil, errf(http.StatusBadRequest, "exactly one of conditions, cycle or csv must be given")
+	}
+	if len(req.Conditions) > 0 {
+		if req.Ticks != 0 {
+			return nil, errf(http.StatusBadRequest, "ticks applies to cycle/csv sources; conditions carry their own count")
+		}
+		if len(req.Conditions) > s.cfg.MaxTicksPerJob {
+			return nil, errf(http.StatusBadRequest, "%d conditions over the server's %d-tick limit", len(req.Conditions), s.cfg.MaxTicksPerJob)
+		}
+		conds := make([]thermal.Conditions, len(req.Conditions))
+		for i, c := range req.Conditions {
+			conds[i] = c.conditions()
+			if err := conds[i].Validate(); err != nil {
+				return nil, errf(http.StatusBadRequest, "conditions[%d]: %v", i, err)
+			}
+		}
+		return conds, nil
+	}
+	ticks := req.Ticks
+	if ticks == 0 {
+		ticks = 1
+	}
+	if ticks < 1 || ticks > s.cfg.MaxTicksPerJob {
+		return nil, errf(http.StatusBadRequest, "ticks %d outside 1..%d", ticks, s.cfg.MaxTicksPerJob)
+	}
+	var (
+		sched drive.Schedule
+		err   error
+	)
+	if req.Cycle != "" {
+		cycle, cerr := drive.CycleByName(req.Cycle)
+		if cerr != nil {
+			return nil, errf(http.StatusBadRequest, "%v", cerr)
+		}
+		sched = cycle.Schedule()
+	} else {
+		sched, err = drive.ReadSchedule(strings.NewReader(req.CSV), req.Channel)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "csv: %v", err)
+		}
+	}
+	tr, err := drive.FromSpeedSchedule(drive.DefaultSynthConfig(), sched)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "%v", err)
+	}
+	// Sample at the twin's clock: a session that has lived 0..now_s
+	// continues the source where it left off.
+	e.mu.Lock()
+	nowS, tickS := e.sess.Now(), e.sess.TickSeconds()
+	e.mu.Unlock()
+	end := tr.Times[0] + tr.Duration()
+	conds := make([]thermal.Conditions, ticks)
+	for k := range conds {
+		t := nowS + float64(k)*tickS
+		// trace.At clamps past the last sample; a twin silently frozen
+		// on the source's final row would be wrong, not convenient.
+		if t > end {
+			return nil, errf(http.StatusBadRequest, "t=%g past the source's end (%g s) — the twin has outlived this drive source", t, end)
+		}
+		conds[k], err = drive.ConditionsAt(tr, t)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "t=%g: %v", t, err)
+		}
+	}
+	return conds, nil
+}
+
+func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.sessions.get(r.PathValue("id"), time.Now())
+	if !ok {
+		s.writeJSONError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	if s.Draining() {
+		// The twin is sealed: no more state advances, but its checkpoint
+		// stays fetchable through the drain grace window.
+		s.writeJSONError(w, http.StatusServiceUnavailable,
+			"server draining — session sealed; fetch its checkpoint and restore elsewhere")
+		return
+	}
+	var req SessionStepRequest
+	if herr := decodeJSON(w, r, &req); herr != nil {
+		s.writeHTTPError(w, herr)
+		return
+	}
+	conds, herr := s.stepConditions(e, req)
+	if herr != nil {
+		s.writeHTTPError(w, herr)
+		return
+	}
+	// Stepping is real simulation work; it runs under the same bounded
+	// queue as runs and sweeps so a flood of large step batches cannot
+	// oversubscribe the host.
+	ctx, cancel := s.jobContext(r.Context())
+	defer cancel()
+	if err := s.q.acquire(ctx); err != nil {
+		s.writeJobError(w, err)
+		return
+	}
+	defer s.q.release()
+
+	started := time.Now()
+	var ticks []json.RawMessage
+	e.mu.Lock()
+	for i, c := range conds {
+		if err := ctx.Err(); err != nil {
+			e.mu.Unlock()
+			s.writeJobError(w, err)
+			return
+		}
+		tick, err := e.sess.Step(c)
+		if err != nil {
+			e.mu.Unlock()
+			s.writeJSONError(w, http.StatusInternalServerError,
+				fmt.Sprintf("step %d of %d: %v", i+1, len(conds), err))
+			return
+		}
+		s.met.ticks.Add(1)
+		s.met.sessionSteps.Add(1)
+		if req.ReturnTicks || i == len(conds)-1 {
+			if b, merr := report.MarshalTick(tick); merr == nil {
+				if !req.ReturnTicks {
+					ticks = ticks[:0]
+				}
+				ticks = append(ticks, b)
+			}
+		}
+	}
+	e.mu.Unlock()
+	s.met.observeJob(time.Since(started))
+	summary := e.summary(time.Now())
+
+	out := map[string]any{
+		"session":       summary,
+		"ticks_applied": len(conds),
+	}
+	if req.ReturnTicks {
+		out["ticks"] = ticks
+	} else if len(ticks) > 0 {
+		out["last_tick"] = ticks[0]
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}

@@ -33,6 +33,7 @@ type Session struct {
 	opts Options
 
 	rng          *rand.Rand
+	rngDraws     int64 // NormFloat64 calls consumed from rng (checkpoint replay position)
 	bat          *battery.LeadAcid
 	faultTracker *faults.Tracker
 	tracker      *mppt.Tracker
@@ -123,6 +124,9 @@ func newSessionWith(sys *System, ctrl core.Controller, opts Options, sc *scratch
 // Steps returns how many control periods have been simulated.
 func (s *Session) Steps() int { return s.steps }
 
+// TickSeconds returns the session's control period length.
+func (s *Session) TickSeconds() float64 { return s.opts.TickSeconds }
+
 // Now returns the session-clock timestamp the next Step will carry
 // (StartTime + steps·TickSeconds).
 func (s *Session) Now() float64 {
@@ -179,6 +183,11 @@ func (s *Session) tickSense(cond thermal.Conditions) error {
 		sc.sensed = make([]float64, len(sc.temps))
 	}
 	sc.sensed = sc.sensed[:len(sc.temps)]
+	// The draw count, not the raw seed, is the RNG's checkpointable
+	// position: NormFloat64 consumes a variable number of source words
+	// (ziggurat rejection), so a restored session fast-forwards by
+	// replaying this many NormFloat64 calls (see RestoreSession).
+	s.rngDraws += int64(len(sc.temps))
 	for i, tv := range sc.temps {
 		sc.sensed[i] = tv + s.rng.NormFloat64()*s.opts.SensorNoiseC
 		if sc.health != nil && sc.health[i] != array.Healthy {
@@ -362,6 +371,9 @@ func (s *Session) tickAct(cond thermal.Conditions) (Tick, error) {
 // checkpoint, not a terminator: it may be called at any point — even
 // mid-run — and stepping may continue afterwards; the returned value is
 // the session's live accumulator, updated in place by further Steps.
+// A caller that lets the value escape the stepping goroutine (or merely
+// outlive the next Step) must take Result().Clone() instead — see
+// Result.Clone for the ownership rule.
 func (s *Session) Result() *Result {
 	if s.steps > 0 {
 		s.res.AvgRuntime = s.totalRuntime / time.Duration(s.steps)
@@ -375,11 +387,19 @@ func (s *Session) Result() *Result {
 	return s.res
 }
 
+// MaxWorkers is the sanity cap on Options.Workers: far above any real
+// machine's core count, low enough that a corrupted value (a
+// hand-edited checkpoint, an overflowed config) cannot ask the batch
+// engine for millions of goroutines. Checkpoint-restored options pass
+// through the same Validate as fresh ones, so the cap holds there too.
+const MaxWorkers = 4096
+
 // Validate rejects option values the engine cannot run: a control
 // period that is not a positive finite number (NaN used to slip past
 // the old `<= 0` check and poison the tick count), non-finite or
 // negative sensor noise, a non-finite session clock origin, a negative
-// worker bound, and a charge profile without the battery it drives.
+// or absurdly large worker bound, and a charge profile without the
+// battery it drives.
 //
 // Memory contract (KeepTicks / OnTick): a run's resident cost is
 // O(duration) only when KeepTicks is true — every Tick is then buffered
@@ -402,6 +422,13 @@ func (o Options) Validate() error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("sim: negative worker count %d", o.Workers)
+	}
+	if o.Workers > MaxWorkers {
+		// A worker bound is a pool size, not a job count: anything past
+		// the sanity cap is a corrupted or hostile value (a checkpoint
+		// edited by hand, an overflowed config), and spawning that many
+		// goroutines would be the real failure.
+		return fmt.Errorf("sim: worker count %d over the %d sanity cap", o.Workers, MaxWorkers)
 	}
 	if o.ChargeProfile != nil && !o.Battery {
 		return fmt.Errorf("sim: charge profile requires the battery")

@@ -165,6 +165,29 @@ type Result struct {
 	Ticks         []Tick
 }
 
+// Clone returns a deep copy of the result: the tick buffer (the only
+// slice-backed field) gets its own backing array, so the copy is
+// immune to in-place mutation of the original.
+//
+// Ownership rule: Session.Result returns the session's *live*
+// accumulator — further Steps mutate it (and append to its Ticks) in
+// place. Any Result that escapes the stepping goroutine — a service
+// handler's response, a cache back-fill, a summary published while
+// stepping continues — must be a Clone taken under the same
+// synchronization that guards Step, or readers can observe torn state.
+// Results of completed runs (Run, Batch) whose session is discarded
+// need no clone.
+func (r *Result) Clone() *Result {
+	if r == nil {
+		return nil
+	}
+	out := *r
+	if r.Ticks != nil {
+		out.Ticks = append([]Tick(nil), r.Ticks...)
+	}
+	return &out
+}
+
 // Run simulates one controller over the trace. It is a thin trace-replay
 // wrapper over Session: the trace supplies each period's radiator
 // boundary conditions, Session does the physics.

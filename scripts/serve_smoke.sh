@@ -2,7 +2,10 @@
 # Server smoke test: boot tegserve on a random port, exercise the API
 # end to end with a real HTTP client (a short WLTC/EHTR run streamed
 # over SSE must terminate with a summary event), check the metrics
-# endpoint, and verify SIGTERM drains the process cleanly (exit 0).
+# endpoint, verify SIGTERM drains the process cleanly (exit 0), and
+# prove a digital-twin session survives the process: create -> step ->
+# checkpoint -> kill -> restart -> restore -> step must land on the
+# same summary an uninterrupted twin reaches.
 #
 # Run from the repo root: ./scripts/serve_smoke.sh
 set -euo pipefail
@@ -14,22 +17,34 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# boot <logfile> — start tegserve on a random port and set the $pid
+# and $base globals once the listen line appears. Called directly (not
+# in a command substitution) so the globals survive.
+boot() {
+  "$workdir/tegserve" -addr 127.0.0.1:0 >"$1" 2>&1 &
+  pid=$!
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's#.*listening on http://##p' "$1" | head -n1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "tegserve died:" >&2; cat "$1" >&2; exit 1; }
+    sleep 0.1
+  done
+  [ -n "$addr" ] || { echo "never saw listen line:" >&2; cat "$1" >&2; exit 1; }
+  base="http://$addr"
+}
+
+# strip_volatile — drop the fields that legitimately differ between a
+# restored twin and the original (session id, wall-clock age).
+strip_volatile() {
+  sed -E 's/"id":"[^"]*",?//g; s/,?"age_s":[0-9.eE+-]+//g'
+}
+
 echo "== building tegserve"
 go build -o "$workdir/tegserve" ./cmd/tegserve
 
 echo "== booting on a random port"
-"$workdir/tegserve" -addr 127.0.0.1:0 >"$workdir/serve.log" 2>&1 &
-pid=$!
-
-addr=""
-for _ in $(seq 1 100); do
-  addr=$(sed -n 's#.*listening on http://##p' "$workdir/serve.log" | head -n1)
-  [ -n "$addr" ] && break
-  kill -0 "$pid" 2>/dev/null || { echo "tegserve died:"; cat "$workdir/serve.log"; exit 1; }
-  sleep 0.1
-done
-[ -n "$addr" ] || { echo "never saw listen line:"; cat "$workdir/serve.log"; exit 1; }
-base="http://$addr"
+boot "$workdir/serve.log"
 echo "   up at $base"
 
 echo "== healthz"
@@ -59,10 +74,51 @@ metrics=$(curl -fsS "$base/metrics")
 echo "$metrics" | grep '^tegserve_ticks_total ' || { echo "no tick counter"; exit 1; }
 echo "$metrics" | grep '^tegserve_cache_hits_total 1$' >/dev/null || { echo "cache hit not counted"; exit 1; }
 
+echo "== digital twin: create -> step -> checkpoint"
+twin=$(curl -fsS -H 'Content-Type: application/json' \
+  -d '{"scheme":"dnor","modules":40,"seed":3,"battery":true}' "$base/v1/sessions")
+id=$(echo "$twin" | sed -n 's/.*"id":"\(tw-[^"]*\)".*/\1/p')
+[ -n "$id" ] || { echo "no session id in: $twin"; exit 1; }
+curl -fsS -H 'Content-Type: application/json' \
+  -d '{"cycle":"delivery","ticks":40}' "$base/v1/sessions/$id/step" >/dev/null
+curl -fsS "$base/v1/sessions/$id/checkpoint" -o "$workdir/ck.json"
+grep -q '"version":1' "$workdir/ck.json" || { echo "checkpoint is not the versioned schema"; exit 1; }
+echo "   twin $id checkpointed at step 40 ($(wc -c <"$workdir/ck.json") bytes)"
+
+# Run the original twin to step 60 before the server dies: this is the
+# uninterrupted reference the restored twin must match.
+curl -fsS -H 'Content-Type: application/json' \
+  -d '{"cycle":"delivery","ticks":20}' "$base/v1/sessions/$id/step" >/dev/null
+ref=$(curl -fsS "$base/v1/sessions/$id" | strip_volatile)
+
 echo "== graceful drain on SIGTERM"
 kill -TERM "$pid"
 wait "$pid" || { echo "tegserve exited nonzero"; cat "$workdir/serve.log"; exit 1; }
 grep -q "drained cleanly" "$workdir/serve.log" || { echo "no clean-drain log line"; cat "$workdir/serve.log"; exit 1; }
+pid=""
+
+echo "== restart: restore the twin from its checkpoint"
+boot "$workdir/serve2.log"
+echo "   replacement up at $base"
+restored=$(curl -fsS -H 'Content-Type: application/json' \
+  -d "{\"from_checkpoint\": $(cat "$workdir/ck.json")}" "$base/v1/sessions")
+id2=$(echo "$restored" | sed -n 's/.*"id":"\(tw-[^"]*\)".*/\1/p')
+[ -n "$id2" ] || { echo "restore failed: $restored"; exit 1; }
+echo "$restored" | grep -q '"steps":40' || { echo "restored twin not at step 40: $restored"; exit 1; }
+
+curl -fsS -H 'Content-Type: application/json' \
+  -d '{"cycle":"delivery","ticks":20}' "$base/v1/sessions/$id2/step" >/dev/null
+got=$(curl -fsS "$base/v1/sessions/$id2" | strip_volatile)
+if [ "$got" != "$ref" ]; then
+  echo "restored twin diverged from the uninterrupted reference:"
+  echo "  want: $ref"
+  echo "  got:  $got"
+  exit 1
+fi
+echo "   restored twin replayed to step 60: summary identical"
+
+kill -TERM "$pid"
+wait "$pid" || { echo "second tegserve exited nonzero"; cat "$workdir/serve2.log"; exit 1; }
 pid=""
 
 echo "== smoke OK"
