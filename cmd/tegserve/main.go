@@ -47,6 +47,7 @@ func main() {
 		maxTicks     = flag.Int("max-ticks", 0, "per-job simulated control period limit (0 = 200000)")
 		maxSessions  = flag.Int("max-sessions", 0, "simultaneously open digital-twin sessions (0 = 64)")
 		sessionTTL   = flag.Duration("session-ttl", 0, "evict twin sessions idle this long (0 = 30m)")
+		maxRestore   = flag.Int64("max-restore-draws", 0, "RNG fast-forward a checkpoint restore may claim, in draws (0 = 1e9, negative = unbounded)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown deadline")
 		drainGrace   = flag.Duration("drain-grace", 0, "keep the listener open this long after the drain starts so LB health probes observe the 503")
 	)
@@ -58,15 +59,16 @@ func main() {
 	defer stop()
 
 	srv := serve.New(serve.Config{
-		MaxConcurrent:  *maxConc,
-		MaxQueued:      *maxQueued,
-		Workers:        *workers,
-		CacheEntries:   *cacheSize,
-		CacheBytes:     *cacheMB << 20,
-		MaxTicksPerJob: *maxTicks,
-		MaxSessions:    *maxSessions,
-		SessionIdleTTL: *sessionTTL,
-		DrainGrace:     *drainGrace,
+		MaxConcurrent:   *maxConc,
+		MaxQueued:       *maxQueued,
+		Workers:         *workers,
+		CacheEntries:    *cacheSize,
+		CacheBytes:      *cacheMB << 20,
+		MaxTicksPerJob:  *maxTicks,
+		MaxSessions:     *maxSessions,
+		SessionIdleTTL:  *sessionTTL,
+		MaxRestoreDraws: *maxRestore,
+		DrainGrace:      *drainGrace,
 	})
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

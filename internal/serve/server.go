@@ -75,6 +75,14 @@ type Config struct {
 	// MaxSessions bounds simultaneously open digital-twin sessions;
 	// creates beyond the cap are shed with 503 (0 → 64).
 	MaxSessions int
+	// MaxRestoreDraws bounds the RNG fast-forward a checkpoint restore
+	// may claim (SessionState.RNGDraws): sim already rejects positions a
+	// checkpoint's own steps×modules cannot explain, but both numbers
+	// come from the client, so this absolute cap is what keeps a forged
+	// checkpoint from buying seconds of replay per request
+	// (0 → 1e9, roughly a 500-module twin's first two weeks at the
+	// paper's 0.5 s cadence; negative → no cap).
+	MaxRestoreDraws int64
 	// SessionIdleTTL evicts twin sessions untouched for this long. The
 	// sweep is opportunistic — it runs on session creates and lists, so
 	// the server holds no background goroutine (0 → 30 min).
@@ -114,6 +122,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 64
+	}
+	if c.MaxRestoreDraws == 0 {
+		c.MaxRestoreDraws = 1_000_000_000
+	}
+	if c.MaxRestoreDraws < 0 {
+		c.MaxRestoreDraws = math.MaxInt64
 	}
 	if c.SessionIdleTTL <= 0 {
 		c.SessionIdleTTL = 30 * time.Minute

@@ -37,9 +37,11 @@
 package serve
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -51,6 +53,7 @@ import (
 	"tegrecon/internal/report"
 	"tegrecon/internal/sim"
 	"tegrecon/internal/thermal"
+	"tegrecon/internal/trace"
 )
 
 // twinSession is one registry entry: a live sim.Session plus the mutex
@@ -95,6 +98,19 @@ func (r *sessionRegistry) sweepLocked(now time.Time) (evicted int) {
 		}
 	}
 	return evicted
+}
+
+// full sweeps idle sessions and reports whether the registry is at
+// capacity. It is the cheap admission pre-check a create runs before
+// paying for session construction (in particular a checkpoint
+// restore's RNG replay); add re-checks under its own lock at insert
+// time, so a lost race still sheds correctly — this just stops the
+// certainly-doomed requests from doing the work first.
+func (r *sessionRegistry) full(now time.Time) (evicted int, full bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	evicted = r.sweepLocked(now)
+	return evicted, len(r.entries) >= r.max
 }
 
 // add sweeps idle sessions, then admits the entry if the cap allows.
@@ -278,6 +294,17 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeJSONError(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
+	// Admission pre-check: a create that is going to be shed anyway must
+	// not first pay for construction (restores replay the checkpoint's
+	// whole RNG history). add() re-checks under its lock, so a race
+	// between two creates for the last slot still resolves correctly.
+	evicted, full := s.sessions.full(time.Now())
+	s.met.sessionsEvicted.Add(int64(evicted))
+	if full {
+		s.writeJSONError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("session registry full (%d open), retry later or delete one", s.cfg.MaxSessions))
+		return
+	}
 	var (
 		sess     *sim.Session
 		scheme   string
@@ -301,11 +328,35 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 				fmt.Sprintf("checkpoint modules %d outside 1..%d", st.Modules, s.cfg.MaxModules))
 			return
 		}
+		// rng_draws is client-claimed progress that the restore replays
+		// draw by draw. sim rejects positions beyond steps×modules, but
+		// both factors are client-claimed too, so the server imposes its
+		// own absolute ceiling — and runs the replay under the bounded
+		// job queue with a cancelable context, like any other simulation
+		// work, never unbounded on the handler goroutine.
+		if st.RNGDraws > s.cfg.MaxRestoreDraws {
+			s.writeJSONError(w, http.StatusBadRequest,
+				fmt.Sprintf("checkpoint rng position %d over the server's %d-draw restore cap", st.RNGDraws, s.cfg.MaxRestoreDraws))
+			return
+		}
 		sys := sim.DefaultSystem()
 		sys.Modules = st.Modules
-		sess, err = sim.RestoreSession(sys, st)
+		ctx, cancel := s.jobContext(r.Context())
+		defer cancel()
+		if err := s.q.acquire(ctx); err != nil {
+			s.writeJobError(w, err)
+			return
+		}
+		started := time.Now()
+		sess, err = sim.RestoreSessionContext(ctx, sys, st)
+		s.met.observeJob(time.Since(started))
+		s.q.release()
 		if err != nil {
-			s.writeJSONError(w, http.StatusBadRequest, err.Error())
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				s.writeJobError(w, err) // drain / client gone, not a bad checkpoint
+			} else {
+				s.writeJSONError(w, http.StatusBadRequest, err.Error())
+			}
 			return
 		}
 		scheme, modules, restored = st.Scheme, st.Modules, true
@@ -423,10 +474,24 @@ func (s *Server) handleSessionCheckpoint(w http.ResponseWriter, r *http.Request)
 	writePayload(w, "bypass", payload)
 }
 
-// stepConditions reduces a step request to the explicit condition
-// sequence it asks for, sampling drive sources at the session's own
-// clock so consecutive batches walk the source contiguously.
-func (s *Server) stepConditions(e *twinSession, req SessionStepRequest) ([]thermal.Conditions, *httpError) {
+// stepSource is a step request reduced to where its conditions come
+// from: an explicit sequence, or a synthesized drive trace still to be
+// sampled at the twin's clock. The sampling is deliberately deferred:
+// the clock read and the steps it positions must happen under one
+// continuous hold of the session mutex, or a concurrent step on the
+// same session advances the clock in between and the source segment
+// replays overlapped — breaking the "continues the source where it
+// left off" contiguity contract.
+type stepSource struct {
+	conds []thermal.Conditions // explicit conditions, or nil
+	tr    *trace.Trace         // drive source (cycle / csv), or nil
+	ticks int                  // periods to sample from tr
+}
+
+// parseStepSource validates a step request and builds its source. No
+// session state is consulted — everything here is safe before the job
+// queue and outside the session lock.
+func (s *Server) parseStepSource(req SessionStepRequest) (*stepSource, *httpError) {
 	sources := 0
 	if len(req.Conditions) > 0 {
 		sources++
@@ -454,7 +519,7 @@ func (s *Server) stepConditions(e *twinSession, req SessionStepRequest) ([]therm
 				return nil, errf(http.StatusBadRequest, "conditions[%d]: %v", i, err)
 			}
 		}
-		return conds, nil
+		return &stepSource{conds: conds}, nil
 	}
 	ticks := req.Ticks
 	if ticks == 0 {
@@ -483,13 +548,21 @@ func (s *Server) stepConditions(e *twinSession, req SessionStepRequest) ([]therm
 	if err != nil {
 		return nil, errf(http.StatusBadRequest, "%v", err)
 	}
-	// Sample at the twin's clock: a session that has lived 0..now_s
-	// continues the source where it left off.
-	e.mu.Lock()
-	nowS, tickS := e.sess.Now(), e.sess.TickSeconds()
-	e.mu.Unlock()
-	end := tr.Times[0] + tr.Duration()
-	conds := make([]thermal.Conditions, ticks)
+	return &stepSource{tr: tr, ticks: ticks}, nil
+}
+
+// sample materializes the condition sequence at the twin's current
+// clock: a session that has lived 0..now_s continues the source where
+// it left off. Callers hold the session mutex and keep holding it
+// through the steps these conditions drive — that single critical
+// section is what makes consecutive batches walk the source
+// contiguously under concurrent steppers.
+func (src *stepSource) sample(nowS, tickS float64) ([]thermal.Conditions, *httpError) {
+	if src.conds != nil {
+		return src.conds, nil
+	}
+	end := src.tr.Times[0] + src.tr.Duration()
+	conds := make([]thermal.Conditions, src.ticks)
 	for k := range conds {
 		t := nowS + float64(k)*tickS
 		// trace.At clamps past the last sample; a twin silently frozen
@@ -497,7 +570,8 @@ func (s *Server) stepConditions(e *twinSession, req SessionStepRequest) ([]therm
 		if t > end {
 			return nil, errf(http.StatusBadRequest, "t=%g past the source's end (%g s) — the twin has outlived this drive source", t, end)
 		}
-		conds[k], err = drive.ConditionsAt(tr, t)
+		var err error
+		conds[k], err = drive.ConditionsAt(src.tr, t)
 		if err != nil {
 			return nil, errf(http.StatusBadRequest, "t=%g: %v", t, err)
 		}
@@ -523,7 +597,7 @@ func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
 		s.writeHTTPError(w, herr)
 		return
 	}
-	conds, herr := s.stepConditions(e, req)
+	src, herr := s.parseStepSource(req)
 	if herr != nil {
 		s.writeHTTPError(w, herr)
 		return
@@ -540,8 +614,23 @@ func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
 	defer s.q.release()
 
 	started := time.Now()
-	var ticks []json.RawMessage
+	var (
+		ticks      []json.RawMessage
+		omitted    int   // ticks applied but not marshaled
+		marshalErr error // last MarshalTick failure
+	)
+	// One continuous hold of e.mu from the clock read through the last
+	// Step: sampling the drive source and applying its ticks must be a
+	// single critical section, or a concurrent step on the same session
+	// moves the clock between them and the source segment replays
+	// overlapped.
 	e.mu.Lock()
+	conds, herr := src.sample(e.sess.Now(), e.sess.TickSeconds())
+	if herr != nil {
+		e.mu.Unlock()
+		s.writeHTTPError(w, herr)
+		return
+	}
 	for i, c := range conds {
 		if err := ctx.Err(); err != nil {
 			e.mu.Unlock()
@@ -563,6 +652,9 @@ func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
 					ticks = ticks[:0]
 				}
 				ticks = append(ticks, b)
+			} else {
+				omitted++
+				marshalErr = merr
 			}
 		}
 	}
@@ -578,6 +670,13 @@ func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
 		out["ticks"] = ticks
 	} else if len(ticks) > 0 {
 		out["last_tick"] = ticks[0]
+	}
+	if omitted > 0 {
+		// The steps were applied — the session advanced — so this is
+		// not a failure of the request, but the client must not mistake
+		// missing ticks for ticks that never ran.
+		out["ticks_omitted"] = omitted
+		out["tick_marshal_error"] = marshalErr.Error()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out)

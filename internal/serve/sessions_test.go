@@ -237,6 +237,84 @@ func TestSessionStepRejects(t *testing.T) {
 	}
 }
 
+// TestSessionRestoreDrawBounds pins the two guards on a checkpoint's
+// claimed RNG position — the restore cost an attacker controls:
+// rng_draws over the server's absolute MaxRestoreDraws cap is refused
+// before any replay work, and a forged position beyond what the
+// checkpoint's own steps×modules can explain is rejected by the sim
+// layer even when it is under the cap.
+func TestSessionRestoreDrawBounds(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := createSession(t, ts.URL, `{"scheme":"baseline","modules":10}`).Session.ID
+	stepSession(t, ts.URL, id, `{"cycle":"delivery","ticks":4}`) // 40 genuine draws
+	ck := getCheckpoint(t, ts.URL, id)
+	body, _ := json.Marshal(map[string]json.RawMessage{"from_checkpoint": ck})
+
+	_, ts2 := newTestServer(t, Config{MaxRestoreDraws: 10})
+	resp, b := postJSON(t, ts2.URL+"/v1/sessions", string(body))
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(b), "restore cap") {
+		t.Fatalf("over-cap restore: %d %s", resp.StatusCode, b)
+	}
+
+	var env map[string]any
+	if err := json.Unmarshal(ck, &env); err != nil {
+		t.Fatal(err)
+	}
+	env["checkpoint"].(map[string]any)["rng_draws"] = 999999.0
+	forged, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = json.Marshal(map[string]json.RawMessage{"from_checkpoint": forged})
+	resp, b = postJSON(t, ts.URL+"/v1/sessions", string(body))
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(b), "exceeds") {
+		t.Fatalf("forged rng position: %d %s", resp.StatusCode, b)
+	}
+}
+
+// TestSessionConcurrentCycleStepContiguity pins the drive-source
+// contiguity contract under contention: concurrent cycle batches on one
+// session must sample the source at the clock position their steps
+// actually run from (one continuous hold of the session lock), so any
+// interleaving of 8×5-tick batches lands on the same state as one
+// sequential 40-tick walk — checkpoint-for-checkpoint identical.
+func TestSessionConcurrentCycleStepContiguity(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const create = `{"scheme":"inor","modules":10}`
+	ref := createSession(t, ts.URL, create).Session.ID
+	stepSession(t, ts.URL, ref, `{"cycle":"delivery","ticks":40}`)
+	refCk := getCheckpoint(t, ts.URL, ref)
+
+	id := createSession(t, ts.URL, create).Session.ID
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/sessions/"+id+"/step",
+				"application/json", strings.NewReader(`{"cycle":"delivery","ticks":5}`))
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Sprintf("step: %d %s", resp.StatusCode, b)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+	if gotCk := getCheckpoint(t, ts.URL, id); string(gotCk) != string(refCk) {
+		t.Fatalf("concurrent batches diverged from the sequential walk:\nconcurrent: %.200s…\nsequential: %.200s…", gotCk, refCk)
+	}
+}
+
 // TestSessionRegistryCapAndEviction pins the registry bounds: creates
 // beyond MaxSessions shed with 503, and idle sessions are evicted on
 // the next create, freeing their slots.

@@ -35,7 +35,9 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"time"
 
 	"tegrecon/internal/array"
@@ -160,6 +162,16 @@ func (s *Session) Snapshot() (*SessionState, error) {
 // (tick length, seed, noise) breaks the bit-exact contract and, where
 // detectable, is rejected.
 func RestoreSession(sys *System, st *SessionState) (*Session, error) {
+	return RestoreSessionContext(context.Background(), sys, st)
+}
+
+// RestoreSessionContext is RestoreSession with a cancelable RNG
+// fast-forward: the replay loop is the one part of a restore whose cost
+// scales with the checkpoint's claimed progress, so it checks ctx
+// periodically and aborts with ctx.Err() when the caller gives up.
+// Services restoring untrusted checkpoints should use this form under
+// the same bounded queue as their other simulation work.
+func RestoreSessionContext(ctx context.Context, sys *System, st *SessionState) (*Session, error) {
 	if st == nil {
 		return nil, fmt.Errorf("sim: nil session state")
 	}
@@ -171,6 +183,14 @@ func RestoreSession(sys *System, st *SessionState) (*Session, error) {
 	}
 	if st.Steps < 0 || st.RNGDraws < 0 || st.EffN < 0 {
 		return nil, fmt.Errorf("sim: checkpoint with negative progress (steps %d, rng draws %d, eff samples %d)", st.Steps, st.RNGDraws, st.EffN)
+	}
+	// The session draws exactly Modules NormFloat64 values per step
+	// (tickSense), so Steps×Modules bounds any genuine stream position.
+	// A forged position beyond it would otherwise buy an arbitrarily
+	// long replay loop below from a few bytes of checkpoint.
+	if maxDraws := int64(st.Steps) * int64(st.Modules); st.RNGDraws > maxDraws ||
+		(st.Modules > 0 && int64(st.Steps) > math.MaxInt64/int64(st.Modules)) {
+		return nil, fmt.Errorf("sim: checkpoint rng position %d exceeds %d steps × %d modules draws", st.RNGDraws, st.Steps, st.Modules)
 	}
 	if st.Result == nil {
 		return nil, fmt.Errorf("sim: checkpoint without a result accumulator")
@@ -197,6 +217,13 @@ func RestoreSession(sys *System, st *SessionState) (*Session, error) {
 	sess.trackerIdled = st.TrackerIdled
 	sess.res = st.Result.Clone()
 	for i := int64(0); i < st.RNGDraws; i++ {
+		// One ctx poll per 64k draws keeps the abort latency well under
+		// a millisecond without the check dominating the replay.
+		if i&0xffff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: restoring session: %w", err)
+			}
+		}
 		sess.rng.NormFloat64()
 	}
 	sess.rngDraws = st.RNGDraws

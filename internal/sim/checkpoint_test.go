@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"context"
+	"errors"
+	"math"
 	"reflect"
 	"testing"
 
@@ -215,6 +218,20 @@ func TestRestoreSessionRejects(t *testing.T) {
 	if _, err := RestoreSession(sys, st); err == nil {
 		t.Error("negative RNG position accepted")
 	}
+	// The session draws exactly Modules values per step, so any claimed
+	// position beyond Steps×Modules is forged — and, unchecked, a forged
+	// position is an unbounded CPU burn in the restore's replay loop.
+	st = snap()
+	st.RNGDraws = int64(st.Steps)*int64(st.Modules) + 1
+	if _, err := RestoreSession(sys, st); err == nil {
+		t.Error("RNG position beyond steps×modules accepted")
+	}
+	st = snap()
+	st.Steps = math.MaxInt // implausible progress: steps×modules overflows
+	st.RNGDraws = math.MaxInt64
+	if _, err := RestoreSession(sys, st); err == nil {
+		t.Error("overflowing steps×modules accepted")
+	}
 	st = snap()
 	st.Scheme = "NoSuchScheme"
 	if _, err := RestoreSession(sys, st); err == nil {
@@ -234,6 +251,35 @@ func TestRestoreSessionRejects(t *testing.T) {
 	st.Options.Battery = true // options say battery, checkpoint has no battery state
 	if _, err := RestoreSession(sys, st); err == nil {
 		t.Error("battery-enabled options without battery state accepted")
+	}
+}
+
+// TestRestoreSessionContextCanceled pins the restore's abort path: the
+// RNG fast-forward — the one restore cost that scales with the
+// checkpoint's claimed progress — honors context cancellation instead
+// of replaying to completion.
+func TestRestoreSessionContextCanceled(t *testing.T) {
+	opts := checkpointTestOptions(false)
+	conds := wltcConds(t, 5, opts.TickSeconds)
+	sess := newCheckpointTestSession(t, "Baseline", opts)
+	for _, c := range conds {
+		if _, err := sess.Step(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := sess.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := DefaultSystem()
+	sys.Modules = 40
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RestoreSessionContext(ctx, sys, st); !errors.Is(err, context.Canceled) {
+		t.Fatalf("restore under a canceled context returned %v, want context.Canceled", err)
+	}
+	if restored, err := RestoreSessionContext(context.Background(), sys, st); err != nil || restored == nil {
+		t.Fatalf("restore under a live context failed: %v", err)
 	}
 }
 
