@@ -44,6 +44,15 @@
 //	                    parallel over HTTP, 50-tick batches through the
 //	                    delivery cycle (aggregate ticks/sec): the
 //	                    long-lived-session serving cost
+//	matrix_expand       compiling a 256-cell scenario matrix (cycles ×
+//	                    schemes × ambients × flows × faults × sizes)
+//	                    into its deterministic job list — trace
+//	                    materialization, coordinate hashing and seed
+//	                    derivation, no simulation (cells_per_sec)
+//	matrix_sweep_throughput
+//	                    the same matrix run end to end on the batch
+//	                    engine, all cores (aggregate ticks/sec): the
+//	                    scenario-matrix serving cost
 //
 // JSON schema (schema_version 1):
 //
@@ -77,7 +86,8 @@
 //	  "session_step_max_allocs_per_op":    0,
 //	  "session_step_max_bytes_per_op":     64,
 //	  "session_step_max_ns_per_op":        0,    // 0 = not enforced
-//	  "sweep_throughput_min_ticks_per_sec": 1100 // 0 = not enforced
+//	  "sweep_throughput_min_ticks_per_sec": 1100, // 0 = not enforced
+//	  "matrix_expand_min_cells_per_sec":    500   // 0 = not enforced
 //	}
 package main
 
@@ -101,6 +111,7 @@ import (
 
 	"tegrecon/internal/drive"
 	"tegrecon/internal/experiments"
+	"tegrecon/internal/scenario"
 	"tegrecon/internal/serve"
 	"tegrecon/internal/sim"
 	"tegrecon/internal/thermal"
@@ -117,6 +128,7 @@ type Result struct {
 	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
 	TicksPerSec float64 `json:"ticks_per_sec,omitempty"`
+	CellsPerSec float64 `json:"cells_per_sec,omitempty"`
 }
 
 // Document is the whole emitted report.
@@ -142,6 +154,7 @@ type Budget struct {
 	SessionStepMaxNsPerOp         float64 `json:"session_step_max_ns_per_op"`
 	SweepThroughputMinTicksPerSec float64 `json:"sweep_throughput_min_ticks_per_sec"`
 	TwinSessionsMinTicksPerSec    float64 `json:"twin_sessions_min_ticks_per_sec"`
+	MatrixExpandMinCellsPerSec    float64 `json:"matrix_expand_min_cells_per_sec"`
 }
 
 func main() {
@@ -195,6 +208,8 @@ func main() {
 		{"sweep_batched_throughput", func() (Result, error) { return benchSweep(sweepCap, 1, sim.StepLockstep) }},
 		{"serve_cache_hit", benchServeCacheHit},
 		{"twin_sessions_concurrent", func() (Result, error) { return benchTwinSessions(*quick) }},
+		{"matrix_expand", benchMatrixExpand},
+		{"matrix_sweep_throughput", func() (Result, error) { return benchMatrixSweep(*quick) }},
 	}
 	for _, s := range suites {
 		log.Printf("running %s ...", s.name)
@@ -302,6 +317,21 @@ func enforceBudget(path string, doc Document) error {
 		if twin.TicksPerSec < b.TwinSessionsMinTicksPerSec {
 			return fmt.Errorf("twin_sessions_concurrent %.0f ticks/sec below floor %.0f",
 				twin.TicksPerSec, b.TwinSessionsMinTicksPerSec)
+		}
+	}
+	if b.MatrixExpandMinCellsPerSec > 0 {
+		var exp *Result
+		for i := range doc.Results {
+			if doc.Results[i].Name == "matrix_expand" {
+				exp = &doc.Results[i]
+			}
+		}
+		if exp == nil {
+			return fmt.Errorf("no matrix_expand result to enforce against")
+		}
+		if exp.CellsPerSec < b.MatrixExpandMinCellsPerSec {
+			return fmt.Errorf("matrix_expand %.0f cells/sec below floor %.0f",
+				exp.CellsPerSec, b.MatrixExpandMinCellsPerSec)
 		}
 	}
 	return nil
@@ -689,6 +719,82 @@ func benchTwinSessions(quick bool) (Result, error) {
 	r := Result{Iterations: twins * batches, NsPerOp: float64(elapsed.Nanoseconds()) / float64(twins*batches)}
 	if secs := elapsed.Seconds(); secs > 0 {
 		r.TicksPerSec = float64(total) / secs
+	}
+	return r, nil
+}
+
+// benchMatrixSpec is the fixed scenario matrix the two matrix suites
+// share: 2 synthetic cycles × 4 schemes × 4 ambients × 2 flow splits ×
+// 2 fault plans × 2 array sizes = 256 cells, every axis populated so
+// the expansion walks all of its machinery (trace families, flow
+// weights, storm seeding, coordinate hashing).
+func benchMatrixSpec(cellDuration float64) *scenario.Matrix {
+	return &scenario.Matrix{
+		Version: scenario.SpecVersion,
+		Name:    "tegbench",
+		Cycles: []scenario.CycleSpec{
+			{Synth: &scenario.SynthSpec{Profile: "urban", Seed: 1, DurationS: cellDuration}},
+			{Synth: &scenario.SynthSpec{Profile: "highway", Seed: 2, DurationS: cellDuration, GradePct: 2}},
+		},
+		Ambients:   []scenario.AmbientSpec{{FromC: -10, ToC: 35, StepC: 15}},
+		Flows:      []scenario.FlowSpec{{Paths: 1}, {Paths: 4, Maldistribution: 0.3}},
+		Faults:     []scenario.FaultSpec{{}, {Storm: &scenario.StormSpec{Count: 3}}},
+		ArraySizes: []int{60, 100},
+	}
+}
+
+// benchMatrixExpand measures compiling the 256-cell matrix into its
+// deterministic job list: trace materialization, per-cell coordinate
+// hashing and seed derivation — everything but the simulation itself.
+// cells_per_sec is the admission-path number: what a tegserve instance
+// pays before the first job runs.
+func benchMatrixExpand() (Result, error) {
+	m := benchMatrixSpec(30)
+	counts, err := m.Counts()
+	if err != nil {
+		return Result{}, err
+	}
+	var expErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Expand(); err != nil {
+				expErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if expErr != nil {
+		return Result{}, expErr
+	}
+	r := fromBenchmark(br)
+	if r.NsPerOp > 0 {
+		r.CellsPerSec = float64(counts.Cells) * 1e9 / r.NsPerOp
+	}
+	return r, nil
+}
+
+// benchMatrixSweep runs the same matrix end to end on the batch engine
+// with default routing (all cores, StepAuto → lockstep fleets grouped
+// by plant) and reports aggregate simulated ticks/sec.
+func benchMatrixSweep(quick bool) (Result, error) {
+	cellDuration := 30.0
+	if quick {
+		cellDuration = 15.0
+	}
+	m := benchMatrixSpec(cellDuration)
+	var ticks atomic.Int64
+	start := time.Now()
+	if _, err := experiments.MatrixSweep(m, experiments.MatrixOptions{
+		Workers: 0,
+		OnTick:  func(sim.Tick) { ticks.Add(1) },
+	}); err != nil {
+		return Result{}, err
+	}
+	elapsed := time.Since(start)
+	r := Result{Iterations: 1, NsPerOp: float64(elapsed.Nanoseconds())}
+	if secs := elapsed.Seconds(); secs > 0 {
+		r.TicksPerSec = float64(ticks.Load()) / secs
 	}
 	return r, nil
 }

@@ -8,6 +8,7 @@
 //	tegserve [-addr :8080] [-max-concurrent 0] [-max-queued 64]
 //	         [-workers 0] [-cache 256] [-cache-mb 256] [-drain-timeout 15s]
 //	         [-max-sessions 64] [-session-ttl 30m]
+//	         [-max-matrix-cells 2048] [-max-matrices 32]
 //
 // Quick look:
 //
@@ -45,6 +46,8 @@ func main() {
 		cacheSize    = flag.Int("cache", 256, "content-addressed result cache entries (negative disables)")
 		cacheMB      = flag.Int64("cache-mb", 256, "result cache byte budget in MiB")
 		maxTicks     = flag.Int("max-ticks", 0, "per-job simulated control period limit (0 = 200000)")
+		maxCells     = flag.Int("max-matrix-cells", 0, "cells a POST /v1/matrix spec may expand to (0 = 2048)")
+		maxMatrices  = flag.Int("max-matrices", 0, "matrices remembered for GET /v1/matrix status (0 = 32)")
 		maxSessions  = flag.Int("max-sessions", 0, "simultaneously open digital-twin sessions (0 = 64)")
 		sessionTTL   = flag.Duration("session-ttl", 0, "evict twin sessions idle this long (0 = 30m)")
 		maxRestore   = flag.Int64("max-restore-draws", 0, "RNG fast-forward a checkpoint restore may claim, in draws (0 = 1e9, negative = unbounded)")
@@ -65,6 +68,8 @@ func main() {
 		CacheEntries:    *cacheSize,
 		CacheBytes:      *cacheMB << 20,
 		MaxTicksPerJob:  *maxTicks,
+		MaxMatrixCells:  *maxCells,
+		MaxMatrices:     *maxMatrices,
 		MaxSessions:     *maxSessions,
 		SessionIdleTTL:  *sessionTTL,
 		MaxRestoreDraws: *maxRestore,

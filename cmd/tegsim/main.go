@@ -11,6 +11,21 @@
 //	       [-workers 1] [-format text|csv|json]
 //	tegsim -scenarios [-scenario-duration 0] [-workers 0]
 //	tegsim -scheme dnor [-json]
+//	tegsim -matrix spec.json [-workers 0] [-format text|csv|json]
+//	tegsim -synth profile=highway,seed=9,grade=3 [-study table1]
+//
+// -matrix runs a declarative scenario matrix (internal/scenario's
+// versioned JSON schema): drive cycles × schemes × ambients × flow
+// splits × fault plans × array sizes, expanded into a deterministic
+// cell list and run on the batch engine. Output is the per-cell table
+// plus per-axis marginal roll-ups; -format json emits the same
+// envelope POST /v1/matrix serves. Cell results are bit-identical at
+// any -workers count.
+//
+// -synth replaces the stochastic trace the non-scenario studies drive
+// on, exposing the generator's whole family surface (profile, grade,
+// stop frequency, speed scale, cold start) in one spec; it subsumes
+// -duration and -seed, so combining them is refused.
 //
 // -scenarios (or -study scenarios) runs every registered standard drive
 // cycle (NEDC, WLTC, FTP-75, HWFET, US06, delivery) under all four
@@ -90,6 +105,9 @@ func main() {
 		// registry.
 		scheme  = flag.String("scheme", "", "run a single scheme ("+strings.Join(sim.SchemeNames(), ", ")+") over the trace instead of a -study")
 		jsonOut = flag.Bool("json", false, "with -scheme, emit the full run Result as versioned JSON (report schema)")
+
+		matrixPath = flag.String("matrix", "", "scenario-matrix spec file (versioned JSON, internal/scenario schema); runs the matrix instead of a -study")
+		synthSpec  = flag.String("synth", "", drive.SynthSpecUsage()+"; replaces -duration/-seed for the stochastic trace")
 	)
 	flag.Parse()
 	if *scenarios {
@@ -100,17 +118,31 @@ func main() {
 	if *horizon < 1 {
 		log.Fatalf("-horizon %d: DNOR needs a prediction horizon of at least 1 tick", *horizon)
 	}
-	// -scheme replaces the study entirely, so combining them would
-	// silently discard whichever one the user meant; refuse instead.
+	// -scheme and -matrix each replace the study entirely, so combining
+	// them would silently discard whichever one the user meant; refuse
+	// instead. -synth subsumes the flags that shape the stochastic
+	// trace, so those combinations are ambiguous too.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if *scheme != "" {
-		conflict := ""
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "study" || f.Name == "scenarios" {
-				conflict = "-" + f.Name
+		for _, name := range []string{"study", "scenarios", "matrix"} {
+			if set[name] {
+				log.Fatalf("-scheme runs a single simulation and cannot be combined with -%s", name)
 			}
-		})
-		if conflict != "" {
-			log.Fatalf("-scheme runs a single simulation and cannot be combined with %s", conflict)
+		}
+	}
+	if *matrixPath != "" {
+		for _, name := range []string{"study", "scenarios", "synth", "duration", "seed", "modules", "tick", "horizon"} {
+			if set[name] {
+				log.Fatalf("-matrix takes every axis from the spec file and cannot be combined with -%s", name)
+			}
+		}
+	}
+	if *synthSpec != "" {
+		for _, name := range []string{"duration", "seed"} {
+			if set[name] {
+				log.Fatalf("-synth carries its own %s= key and cannot be combined with -%s", name, name)
+			}
 		}
 	}
 
@@ -121,6 +153,16 @@ func main() {
 	// handler and kills immediately.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *matrixPath != "" {
+		if err := runMatrix(ctx, *matrixPath, *workers, report.Format(*format)); err != nil {
+			if errors.Is(err, context.Canceled) {
+				log.Fatalf("interrupted: %v", err)
+			}
+			log.Fatal(err)
+		}
+		return
+	}
 
 	setup, err := experiments.DefaultSetup()
 	if err != nil {
@@ -143,6 +185,13 @@ func main() {
 		cfg := drive.DefaultSynthConfig()
 		cfg.Duration = *duration
 		cfg.Seed = *seed
+		if *synthSpec != "" {
+			cfg, err = drive.ParseSynthSpec(*synthSpec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			*duration = cfg.Duration // studies report the simulated span
+		}
 		tr, err := drive.Synthesize(cfg)
 		if err != nil {
 			log.Fatal(err)

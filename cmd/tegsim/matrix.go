@@ -1,0 +1,98 @@
+// The -matrix mode: load a declarative scenario-matrix spec and run
+// its full cross-product on the batch engine.
+
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"tegrecon/internal/experiments"
+	"tegrecon/internal/report"
+	"tegrecon/internal/scenario"
+)
+
+// matrixEnvelope mirrors the POST /v1/matrix response so a spec run
+// locally with -format json and the same spec submitted to a tegserve
+// instance produce the same shape.
+type matrixEnvelope struct {
+	Version   int                          `json:"version"`
+	Name      string                       `json:"name,omitempty"`
+	Counts    scenario.Counts              `json:"counts"`
+	Cells     []experiments.MatrixCell     `json:"cells"`
+	Marginals []experiments.MatrixMarginal `json:"marginals"`
+}
+
+func loadMatrixSpec(path string) (*scenario.Matrix, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m scenario.Matrix
+	dec := json.NewDecoder(bytes.NewReader(b))
+	// Unknown fields in a spec file are typos — an axis the user thinks
+	// is sweeping but isn't — not extensions to ignore.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &m, nil
+}
+
+func runMatrix(ctx context.Context, path string, workers int, format report.Format) error {
+	m, err := loadMatrixSpec(path)
+	if err != nil {
+		return err
+	}
+	// Counts normalizes and sizes the matrix without materializing any
+	// traces, so spec errors and the sweep's scale both surface before
+	// the first simulation starts.
+	counts, err := m.Counts()
+	if err != nil {
+		return err
+	}
+	meter := newProgressMeter()
+	res, err := experiments.MatrixSweepContext(ctx, m, experiments.MatrixOptions{
+		Workers: workers,
+		OnTick:  meter.observe,
+	})
+	meter.done()
+	if err != nil {
+		return err
+	}
+
+	switch format {
+	case report.JSON:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(matrixEnvelope{
+			Version:   report.ResultVersion,
+			Name:      res.Name,
+			Counts:    counts,
+			Cells:     res.Cells,
+			Marginals: res.Marginals(),
+		})
+	default:
+		if format != report.CSV {
+			name := res.Name
+			if name == "" {
+				name = path
+			}
+			fmt.Printf("Scenario matrix %s — %d cells, %d jobs, %d control periods\n\n",
+				name, counts.Cells, counts.Jobs, counts.Ticks)
+		}
+		if err := report.FromMatrix(res).Write(os.Stdout, format); err != nil {
+			return err
+		}
+		// A matrix where every axis is collapsed has no marginals to
+		// roll up; skip the empty table.
+		if len(res.Marginals()) > 0 {
+			fmt.Println()
+			return report.FromMatrixMarginals(res).Write(os.Stdout, format)
+		}
+		return nil
+	}
+}

@@ -13,6 +13,8 @@
 //	tegtrace -cycle wltc            # full 1800 s WLTC Class 3 cycle
 //	tegtrace -cycle nedc -duration 300  # first 300 s of the NEDC
 //	tegtrace -schedule log.csv      # drive from a measured speed log
+//	tegtrace -synth profile=highway,seed=9,grade=3,stops=1.5
+//	                                # full generator family surface in one spec
 //	tegtrace -summary               # print channel statistics instead
 package main
 
@@ -33,13 +35,6 @@ import (
 	"tegrecon/internal/termline"
 	"tegrecon/internal/trace"
 )
-
-// stochastic maps the seeded-generator profile names.
-var stochastic = map[string]drive.Profile{
-	"urban":   drive.Urban,
-	"highway": drive.Highway,
-	"mixed":   drive.Mixed,
-}
 
 // progressWriter forwards CSV bytes while honouring cancellation and
 // streaming a live row counter to stderr: every Write checks the
@@ -78,9 +73,11 @@ func (p *progressWriter) samples() int {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tegtrace: ")
-	// The -cycle usage text advertises exactly the registered standard
-	// cycles, so a new registry entry shows up here without a CLI edit.
-	cycleUsage := "speed profile: urban, highway, mixed, or a standard cycle (" +
+	// The -cycle usage text advertises exactly the registered stochastic
+	// profiles and standard cycles, so a new registry entry in either
+	// shows up here without a CLI edit.
+	cycleUsage := "speed profile: a stochastic profile (" +
+		strings.Join(drive.ProfileNames(), ", ") + ") or a standard cycle (" +
 		strings.Join(drive.CycleNames(), ", ") + ")"
 	var (
 		duration  = flag.Float64("duration", 800, "trace duration (s); for standard cycles, caps the schedule (0 = full cycle)")
@@ -92,8 +89,26 @@ func main() {
 		cycle     = flag.String("cycle", "urban", cycleUsage)
 		schedule  = flag.String("schedule", "", "CSV speed log to drive from (overrides -cycle)")
 		speedChan = flag.String("speed-channel", "", "channel name of the speed series in -schedule (default "+drive.ChanSpeed+")")
+		synthSpec = flag.String("synth", "", drive.SynthSpecUsage()+"; subsumes the individual generator flags")
 	)
 	flag.Parse()
+
+	// -synth is the generator's whole surface in one spec; combining it
+	// with the flags it subsumes would leave two sources of truth for
+	// the same knob, so refuse rather than pick one silently.
+	if *synthSpec != "" {
+		for _, name := range []string{"duration", "dt", "seed", "ambient", "cold", "cycle", "schedule"} {
+			overlap := false
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == name {
+					overlap = true
+				}
+			})
+			if overlap {
+				log.Fatalf("-synth carries the generator configuration and cannot be combined with -%s", name)
+			}
+		}
+	}
 
 	// SIGINT/SIGTERM cancel the context; the CSV writer checks it every
 	// write, so a long dump stops promptly with a clean message.
@@ -118,10 +133,17 @@ func main() {
 
 	var tr *trace.Trace
 	var err error
-	// Standard-cycle lookup is case-insensitive (CycleByName); keep the
-	// stochastic names consistent.
-	profile, isStochastic := stochastic[strings.ToLower(*cycle)]
+	// Stochastic profiles come from the profile registry (ProfileByName
+	// is case-insensitive, like CycleByName for standard cycles).
+	profile, perr := drive.ProfileByName(*cycle)
+	isStochastic := perr == nil
 	switch {
+	case *synthSpec != "":
+		cfg, serr := drive.ParseSynthSpec(*synthSpec)
+		if serr != nil {
+			log.Fatal(serr)
+		}
+		tr, err = drive.Synthesize(cfg)
 	case *schedule != "":
 		f, ferr := os.Open(*schedule)
 		if ferr != nil {
@@ -142,7 +164,7 @@ func main() {
 	default:
 		c, cerr := drive.CycleByName(*cycle)
 		if cerr != nil {
-			log.Fatalf("%v; or a stochastic profile: urban, highway, mixed", cerr)
+			log.Fatalf("%v; or a stochastic profile: %s", cerr, strings.Join(drive.ProfileNames(), ", "))
 		}
 		if !durationSet {
 			cfg.Duration = 0 // full published schedule

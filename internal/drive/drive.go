@@ -14,9 +14,11 @@
 package drive
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 
 	"tegrecon/internal/thermal"
 	"tegrecon/internal/trace"
@@ -58,6 +60,32 @@ func (p Profile) String() string {
 	}
 }
 
+// profileRegistry lists the stochastic profiles in declaration order —
+// the same one-list contract the cycle registry has: ProfileNames feeds
+// both ProfileByName's error and every CLI usage text, so neither can
+// drift from the set of profiles that actually generate.
+var profileRegistry = []Profile{Urban, Highway, Mixed}
+
+// ProfileNames returns the stochastic profile names in registry order.
+func ProfileNames() []string {
+	names := make([]string, len(profileRegistry))
+	for i, p := range profileRegistry {
+		names[i] = p.String()
+	}
+	return names
+}
+
+// ProfileByName looks a stochastic profile up case-insensitively. An
+// unknown name's error lists every valid profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range profileRegistry {
+		if strings.EqualFold(p.String(), name) {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("drive: unknown profile %q (valid profiles: %s)", name, strings.Join(ProfileNames(), ", "))
+}
+
 // SynthConfig parameterises the generator.
 type SynthConfig struct {
 	// Duration of the trace in seconds (the paper uses 800 s).
@@ -74,6 +102,22 @@ type SynthConfig struct {
 	// WarmStart begins with the engine at operating temperature (the
 	// paper's measurement starts on a warm engine).
 	WarmStart bool
+
+	// Family parameters: the knobs that turn the one urban trace into a
+	// parameterised workload family (the scenario-matrix cycle axis).
+	// Zero values reproduce the paper's condition bit-for-bit.
+
+	// GradePct is a constant road grade in percent (positive uphill,
+	// negative downhill); it adds m·g·(grade/100)·v to the engine load.
+	// Bounded to ±15% by Validate.
+	GradePct float64
+	// StopFactor scales the per-phase probability of braking to a stop
+	// (0 → 1, the published profiles). 2 doubles stop-and-go density;
+	// 0.5 halves it. Bounded to (0, 10] by Validate.
+	StopFactor float64
+	// SpeedScale scales every target speed the profile draws (0 → 1).
+	// Bounded to [0.25, 3] by Validate.
+	SpeedScale float64
 
 	// Vehicle/engine parameters; zero values take defaults.
 	MassKg          float64 // vehicle mass
@@ -100,6 +144,12 @@ func DefaultSynthConfig() SynthConfig {
 
 // withDefaults fills zero-valued tunables.
 func (c SynthConfig) withDefaults() SynthConfig {
+	if c.StopFactor == 0 {
+		c.StopFactor = 1
+	}
+	if c.SpeedScale == 0 {
+		c.SpeedScale = 1
+	}
 	if c.MassKg == 0 {
 		c.MassKg = 1900 // Porter II kerb + load
 	}
@@ -124,23 +174,56 @@ func (c SynthConfig) withDefaults() SynthConfig {
 	return c
 }
 
-// Validate rejects non-physical configurations.
+// ErrSynthConfig is the sentinel every SynthConfig.Validate failure
+// wraps, so callers expanding large scenario matrices can classify a
+// degenerate cycle spec (errors.Is) without string-matching the
+// detailed message.
+var ErrSynthConfig = errors.New("drive: invalid synth config")
+
+// Validate rejects non-physical configurations. Every float field is
+// checked for NaN/Inf explicitly: a NaN Duration satisfies neither
+// `<= 0` nor `> 0`, so without these checks it would slip through the
+// sign tests and generate a zero-sample trace instead of failing loudly
+// — exactly the degenerate input a machine-built scenario matrix can
+// produce.
 func (c SynthConfig) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"duration", c.Duration}, {"dt", c.DT}, {"ambient", c.AmbientC},
+		{"grade_pct", c.GradePct}, {"stop_factor", c.StopFactor}, {"speed_scale", c.SpeedScale},
+		{"mass_kg", c.MassKg}, {"idle_heat_w", c.IdleHeatW}, {"heat_per_watt", c.HeatPerWattLoad},
+		{"thermal_mass", c.ThermalMassJK}, {"thermostat_open", c.ThermostatOpenC}, {"thermostat_full", c.ThermostatFullC},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("%w: %s %g is not finite", ErrSynthConfig, f.name, f.v)
+		}
+	}
 	if c.Duration <= 0 {
-		return fmt.Errorf("drive: non-positive duration %g", c.Duration)
+		return fmt.Errorf("%w: non-positive duration %g", ErrSynthConfig, c.Duration)
 	}
 	if c.DT <= 0 || c.DT > c.Duration {
-		return fmt.Errorf("drive: bad sample period %g for duration %g", c.DT, c.Duration)
+		return fmt.Errorf("%w: bad sample period %g for duration %g", ErrSynthConfig, c.DT, c.Duration)
 	}
 	if c.AmbientC < -40 || c.AmbientC > 55 {
-		return fmt.Errorf("drive: ambient %g°C outside plausible range", c.AmbientC)
+		return fmt.Errorf("%w: ambient %g°C outside plausible range", ErrSynthConfig, c.AmbientC)
+	}
+	if c.GradePct < -15 || c.GradePct > 15 {
+		return fmt.Errorf("%w: grade %g%% outside ±15%%", ErrSynthConfig, c.GradePct)
 	}
 	d := c.withDefaults()
+	if d.StopFactor <= 0 || d.StopFactor > 10 {
+		return fmt.Errorf("%w: stop factor %g outside (0, 10]", ErrSynthConfig, d.StopFactor)
+	}
+	if d.SpeedScale < 0.25 || d.SpeedScale > 3 {
+		return fmt.Errorf("%w: speed scale %g outside [0.25, 3]", ErrSynthConfig, d.SpeedScale)
+	}
 	if d.ThermostatFullC <= d.ThermostatOpenC {
-		return fmt.Errorf("drive: thermostat window [%g, %g] inverted", d.ThermostatOpenC, d.ThermostatFullC)
+		return fmt.Errorf("%w: thermostat window [%g, %g] inverted", ErrSynthConfig, d.ThermostatOpenC, d.ThermostatFullC)
 	}
 	if d.RadiatorPaths <= 0 {
-		return fmt.Errorf("drive: non-positive radiator path count %d", d.RadiatorPaths)
+		return fmt.Errorf("%w: non-positive radiator path count %d", ErrSynthConfig, d.RadiatorPaths)
 	}
 	return nil
 }
@@ -228,24 +311,32 @@ func stepVehicle(st *driveState, c *SynthConfig, rng *rand.Rand, dt float64) {
 				active = Highway
 			}
 		}
-		// Pick the next phase.
+		// Pick the next phase. SpeedScale multiplies every drawn target
+		// (exact at the default 1.0, so the paper's traces are
+		// bit-identical); StopFactor scales the braking probability the
+		// same way, capped below certainty so cruise phases stay
+		// reachable.
+		stopP := stopProbability(active) * c.StopFactor
+		if stopP > 0.95 {
+			stopP = 0.95
+		}
 		switch {
 		case st.speedKPH < 2: // at rest → accelerate to a new target
 			if active == Highway {
-				st.targetKPH = 75 + rng.Float64()*35
+				st.targetKPH = (75 + rng.Float64()*35) * c.SpeedScale
 			} else {
-				st.targetKPH = 25 + rng.Float64()*45 // 25–70 km/h urban
+				st.targetKPH = (25 + rng.Float64()*45) * c.SpeedScale // 25–70 km/h urban
 			}
 			st.phaseLeft = 8 + rng.Float64()*25
-		case rng.Float64() < stopProbability(active): // brake to a stop
+		case rng.Float64() < stopP: // brake to a stop
 			st.targetKPH = 0
 			st.phaseLeft = 6 + rng.Float64()*18
 		default: // new cruise target
 			if active == Highway {
-				st.targetKPH = 70 + rng.Float64()*40
+				st.targetKPH = (70 + rng.Float64()*40) * c.SpeedScale
 				st.phaseLeft = 15 + rng.Float64()*40
 			} else {
-				st.targetKPH = 15 + rng.Float64()*55
+				st.targetKPH = (15 + rng.Float64()*55) * c.SpeedScale
 				st.phaseLeft = 6 + rng.Float64()*20
 			}
 		}
@@ -298,9 +389,21 @@ func brakePower(speedKPH, massKg float64) float64 {
 	return rolling + aero
 }
 
+// gradePower returns the climbing power demand in watts for a constant
+// road grade in percent (small-angle: sin θ ≈ grade/100). Negative on
+// descents — the caller clamps total load at the fuel-cut floor. Exactly
+// zero at the default flat road, so the paper's traces are unchanged.
+func gradePower(speedKPH, massKg, gradePct float64) float64 {
+	return massKg * 9.81 * (gradePct / 100) * (speedKPH / 3.6)
+}
+
 // stepThermal advances the coolant lumped thermal state.
 func stepThermal(st *driveState, c *SynthConfig, dt float64) {
-	load := brakePower(st.speedKPH, c.MassKg)
+	load := brakePower(st.speedKPH, c.MassKg) + gradePower(st.speedKPH, c.MassKg, c.GradePct)
+	if load < 0 {
+		// Downhill overrun: fuel cut, no combustion heat below idle.
+		load = 0
+	}
 	qIn := c.IdleHeatW + c.HeatPerWattLoad*load
 
 	// Hysteretic wax-element thermostat: commands full open above the

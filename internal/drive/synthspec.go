@@ -1,0 +1,79 @@
+// The -synth CLI surface of the stochastic generator: a compact
+// comma-separated key=value spec parsed onto SynthConfig, shared by
+// tegsim and tegtrace so both binaries expose the same family knobs
+// with the same spellings. The usage text rides the profile registry
+// the way -cycle rides the cycle registry: a new profile shows up in
+// the help string without a CLI edit.
+
+package drive
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SynthSpecUsage is the one-line flag usage text for ParseSynthSpec.
+func SynthSpecUsage() string {
+	return "stochastic generator spec, comma-separated key=value pairs: " +
+		"profile=" + strings.Join(ProfileNames(), "|") +
+		", seed=N, duration=S, dt=S, ambient=C, grade=PCT, stops=FACTOR, speed=SCALE, cold=BOOL"
+}
+
+// ParseSynthSpec parses a spec like
+//
+//	profile=highway,seed=9,grade=3,stops=1.5
+//
+// onto the paper's default configuration: unmentioned keys keep their
+// DefaultSynthConfig values, and the result is validated before it is
+// returned. Keys are matched case-insensitively; an unknown key is an
+// error naming the valid set rather than a silently dropped knob.
+func ParseSynthSpec(spec string) (SynthConfig, error) {
+	cfg := DefaultSynthConfig()
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return cfg, fmt.Errorf("drive: synth spec %q: %q is not key=value", spec, part)
+		}
+		key, val = strings.ToLower(strings.TrimSpace(key)), strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "profile":
+			cfg.Cycle, err = ProfileByName(val)
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "duration":
+			cfg.Duration, err = strconv.ParseFloat(val, 64)
+		case "dt":
+			cfg.DT, err = strconv.ParseFloat(val, 64)
+		case "ambient":
+			cfg.AmbientC, err = strconv.ParseFloat(val, 64)
+		case "grade":
+			cfg.GradePct, err = strconv.ParseFloat(val, 64)
+		case "stops":
+			cfg.StopFactor, err = strconv.ParseFloat(val, 64)
+		case "speed":
+			cfg.SpeedScale, err = strconv.ParseFloat(val, 64)
+		case "cold":
+			var cold bool
+			cold, err = strconv.ParseBool(val)
+			cfg.WarmStart = !cold
+		default:
+			return cfg, fmt.Errorf("drive: synth spec key %q (valid keys: profile, seed, duration, dt, ambient, grade, stops, speed, cold)", key)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("drive: synth spec %s=%q: %w", key, val, err)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}

@@ -1,0 +1,92 @@
+package drive
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseSynthSpecEmptyIsDefault(t *testing.T) {
+	for _, spec := range []string{"", "   ", ",,"} {
+		cfg, err := ParseSynthSpec(spec)
+		if err != nil {
+			t.Fatalf("spec %q: %v", spec, err)
+		}
+		if cfg != DefaultSynthConfig() {
+			t.Fatalf("spec %q is not the default config: %+v", spec, cfg)
+		}
+	}
+}
+
+func TestParseSynthSpecKeys(t *testing.T) {
+	cfg, err := ParseSynthSpec(" Profile=HIGHWAY, seed=9 , duration=120, dt=0.25, ambient=-5, grade=3, stops=1.5, speed=0.8, cold=true ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ProfileByName("highway")
+	if cfg.Cycle != want {
+		t.Fatalf("profile not applied: %v", cfg.Cycle)
+	}
+	if cfg.Seed != 9 || cfg.Duration != 120 || cfg.DT != 0.25 || cfg.AmbientC != -5 ||
+		cfg.GradePct != 3 || cfg.StopFactor != 1.5 || cfg.SpeedScale != 0.8 {
+		t.Fatalf("values not applied: %+v", cfg)
+	}
+	if cfg.WarmStart {
+		t.Fatal("cold=true must clear WarmStart")
+	}
+}
+
+func TestParseSynthSpecErrors(t *testing.T) {
+	cases := []struct {
+		spec, frag string
+	}{
+		{"profile", "not key=value"},
+		{"turbo=2", "valid keys"},
+		{"seed=abc", `seed="abc"`},
+		{"profile=autobahn", "unknown"},
+	}
+	for _, tc := range cases {
+		_, err := ParseSynthSpec(tc.spec)
+		if err == nil {
+			t.Fatalf("spec %q accepted", tc.spec)
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Fatalf("spec %q error %q does not mention %q", tc.spec, err, tc.frag)
+		}
+	}
+	// Degenerate values parse but fail validation with the sentinel —
+	// the classification matrix expansion relies on. strconv accepts
+	// "NaN" as a float, so the NaN path is reachable from the CLI.
+	for _, spec := range []string{"duration=0", "duration=NaN", "dt=-1", "ambient=99", "grade=40", "stops=-1", "speed=9"} {
+		_, err := ParseSynthSpec(spec)
+		if err == nil {
+			t.Fatalf("spec %q accepted", spec)
+		}
+		if !errors.Is(err, ErrSynthConfig) {
+			t.Fatalf("spec %q error does not wrap ErrSynthConfig: %v", spec, err)
+		}
+	}
+}
+
+func TestProfileRegistry(t *testing.T) {
+	names := ProfileNames()
+	if len(names) == 0 {
+		t.Fatal("no registered profiles")
+	}
+	usage := SynthSpecUsage()
+	for _, n := range names {
+		p, err := ProfileByName(n)
+		if err != nil {
+			t.Fatalf("registered profile %q not resolvable: %v", n, err)
+		}
+		if q, err := ProfileByName(strings.ToUpper(n)); err != nil || q != p {
+			t.Fatalf("ProfileByName is not case-insensitive for %q", n)
+		}
+		if !strings.Contains(usage, n) {
+			t.Fatalf("usage text %q omits profile %q", usage, n)
+		}
+	}
+	if _, err := ProfileByName("autobahn"); err == nil {
+		t.Fatal("unknown profile resolved")
+	}
+}

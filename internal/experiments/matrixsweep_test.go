@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"tegrecon/internal/scenario"
+	"tegrecon/internal/sim"
+)
+
+// goldenMatrix is deliberately heterogeneous — two array sizes, a
+// multi-path maldistributed flow, a fault storm — because those are
+// exactly the axes that could break batch-order independence.
+func goldenMatrix() *scenario.Matrix {
+	return &scenario.Matrix{
+		Name:         "golden",
+		MaxDurationS: 10,
+		Seed:         11,
+		Cycles:       []scenario.CycleSpec{{Synth: &scenario.SynthSpec{Profile: "urban", Seed: 5, DurationS: 10}}},
+		Schemes:      []string{"Baseline", "DNOR"},
+		Ambients:     []scenario.AmbientSpec{{AmbientC: 20}},
+		Flows:        []scenario.FlowSpec{{Paths: 2, Maldistribution: 0.3}},
+		Faults:       []scenario.FaultSpec{{}, {Storm: &scenario.StormSpec{Count: 2}}},
+		ArraySizes:   []int{20, 30},
+	}
+}
+
+// TestMatrixSweepBitIdentity is the subsystem's core promise: the same
+// spec produces byte-for-byte identical per-cell results no matter how
+// the jobs are scheduled. The serial run is the golden reference;
+// parallel, forced-lockstep and streaming (OnCell) runs must match it
+// exactly — not approximately.
+func TestMatrixSweepBitIdentity(t *testing.T) {
+	m := goldenMatrix()
+	golden, err := MatrixSweep(m, MatrixOptions{Workers: 1, Stepping: sim.StepSessions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(golden.Cells) != 8 {
+		t.Fatalf("golden matrix expanded to %d cells, want 8", len(golden.Cells))
+	}
+	for i, c := range golden.Cells {
+		if c.EnergyOutJ <= 0 || c.IdealEnergyJ <= 0 {
+			t.Fatalf("cell %d produced no energy: %+v", i, c)
+		}
+		if c.Jobs != 2 {
+			t.Fatalf("cell %d folded %d jobs, want 2 (one per flow path)", i, c.Jobs)
+		}
+	}
+
+	runs := []struct {
+		name string
+		opts MatrixOptions
+	}{
+		{"parallel", MatrixOptions{Workers: 0, Stepping: sim.StepSessions}},
+		{"auto", MatrixOptions{Workers: 0}},
+		{"lockstep", MatrixOptions{Workers: 0, Stepping: sim.StepLockstep}},
+		{"serial repeat", MatrixOptions{Workers: 1, Stepping: sim.StepSessions}},
+	}
+	for _, run := range runs {
+		t.Run(run.name, func(t *testing.T) {
+			res, err := MatrixSweep(goldenMatrix(), run.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Cells) != len(golden.Cells) {
+				t.Fatalf("%d cells vs golden %d", len(res.Cells), len(golden.Cells))
+			}
+			for i := range res.Cells {
+				if !reflect.DeepEqual(res.Cells[i], golden.Cells[i]) {
+					t.Fatalf("cell %d differs from golden:\n%+v\n%+v",
+						i, res.Cells[i], golden.Cells[i])
+				}
+			}
+		})
+	}
+
+	// Streaming mode delivers cells as they finish (any order), but each
+	// delivered cell must still be bit-identical to the golden one.
+	t.Run("oncell", func(t *testing.T) {
+		var streamed []MatrixCell
+		res, err := MatrixSweep(goldenMatrix(), MatrixOptions{
+			Workers: 0,
+			OnCell:  func(c MatrixCell) { streamed = append(streamed, c) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(streamed) != len(golden.Cells) {
+			t.Fatalf("streamed %d cells, want %d", len(streamed), len(golden.Cells))
+		}
+		sort.Slice(streamed, func(i, j int) bool { return streamed[i].Index < streamed[j].Index })
+		for i := range streamed {
+			if !reflect.DeepEqual(streamed[i], golden.Cells[i]) {
+				t.Fatalf("streamed cell %d differs from golden:\n%+v\n%+v",
+					i, streamed[i], golden.Cells[i])
+			}
+			if !reflect.DeepEqual(res.Cells[i], golden.Cells[i]) {
+				t.Fatalf("result cell %d differs from golden in OnCell mode", i)
+			}
+		}
+	})
+}
+
+func TestMatrixMarginals(t *testing.T) {
+	res, err := MatrixSweep(goldenMatrix(), MatrixOptions{Workers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg := res.Marginals()
+	if len(mg) == 0 {
+		t.Fatal("no marginals for a multi-axis matrix")
+	}
+	axes := map[string][]MatrixMarginal{}
+	for _, m := range mg {
+		axes[m.Axis] = append(axes[m.Axis], m)
+	}
+	// Single-valued axes (cycle, ambient, flow) carry no contrast and
+	// must be skipped; the varied axes must each appear with two levels.
+	for _, skipped := range []string{"cycle", "ambient", "flow"} {
+		if len(axes[skipped]) != 0 {
+			t.Fatalf("axis %q has one level but produced marginals", skipped)
+		}
+	}
+	for _, axis := range []string{"scheme", "fault", "modules"} {
+		rows := axes[axis]
+		if len(rows) != 2 {
+			t.Fatalf("axis %q: %d marginal rows, want 2", axis, len(rows))
+		}
+		cells := 0
+		for _, r := range rows {
+			cells += r.Cells
+			if r.MeanEnergyJ <= 0 || r.MeanRatio <= 0 || r.MeanRatio > 1 {
+				t.Fatalf("axis %q level %q has implausible means: %+v", axis, r.Value, r)
+			}
+		}
+		if cells != len(res.Cells) {
+			t.Fatalf("axis %q marginals cover %d cells, want %d", axis, cells, len(res.Cells))
+		}
+	}
+
+	mg2 := (&MatrixResult{Name: res.Name, Cells: res.Cells}).Marginals()
+	if !reflect.DeepEqual(mg, mg2) {
+		t.Fatal("Marginals is not deterministic")
+	}
+}
+
+// TestRunExpansionSubset mirrors serve's cache path: running only the
+// missing cells of an expansion must give those cells the same numbers
+// as the full sweep.
+func TestRunExpansionSubset(t *testing.T) {
+	m := goldenMatrix()
+	full, err := MatrixSweep(m, MatrixOptions{Workers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pick := []int{6, 1, 4}
+	sub, err := ex.Subset(pick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunExpansionContext(t.Context(), sub, MatrixOptions{Workers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != len(pick) {
+		t.Fatalf("subset sweep has %d cells, want %d", len(res.Cells), len(pick))
+	}
+	for i, ci := range pick {
+		if !reflect.DeepEqual(res.Cells[i], full.Cells[ci]) {
+			t.Fatalf("subset cell %d (matrix cell %d) differs from full sweep:\n%+v\n%+v",
+				i, ci, res.Cells[i], full.Cells[ci])
+		}
+	}
+}

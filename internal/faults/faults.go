@@ -8,11 +8,28 @@
 package faults
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
 	"tegrecon/internal/array"
+)
+
+// Named validation errors. Matrix expansion surfaces degenerate specs
+// (zero counts, NaN durations from JSON arithmetic) that used to slip
+// through the comparison-based checks — NaN compares false against
+// everything, so `duration <= 0` accepted a NaN duration and produced a
+// plan full of NaN event times. Callers match these with errors.Is.
+var (
+	// ErrBadCount marks a failure count outside [1, n].
+	ErrBadCount = errors.New("faults: invalid failure count")
+	// ErrBadDuration marks a non-positive or non-finite duration.
+	ErrBadDuration = errors.New("faults: invalid duration")
+	// ErrBadEvent marks an event with an out-of-range module, a
+	// negative or non-finite time, or an unknown health state.
+	ErrBadEvent = errors.New("faults: invalid event")
 )
 
 // Event is one health transition of one module.
@@ -38,13 +55,13 @@ func NewPlan(n int, events []Event) (*Plan, error) {
 	}
 	for _, e := range events {
 		if e.Module < 0 || e.Module >= n {
-			return nil, fmt.Errorf("faults: event for module %d of %d", e.Module, n)
+			return nil, fmt.Errorf("%w: module %d of %d", ErrBadEvent, e.Module, n)
 		}
-		if e.TimeS < 0 {
-			return nil, fmt.Errorf("faults: negative event time %g", e.TimeS)
+		if !(e.TimeS >= 0) || math.IsInf(e.TimeS, 0) { // !(x>=0) also catches NaN
+			return nil, fmt.Errorf("%w: time %g", ErrBadEvent, e.TimeS)
 		}
 		if e.To > array.FailedShort {
-			return nil, fmt.Errorf("faults: unknown health state %d", e.To)
+			return nil, fmt.Errorf("%w: unknown health state %d", ErrBadEvent, e.To)
 		}
 	}
 	ordered := append([]Event(nil), events...)
@@ -55,12 +72,14 @@ func NewPlan(n int, events []Event) (*Plan, error) {
 // RandomPlan draws `count` failures uniformly over (0, duration) on
 // distinct modules, alternating open and short failures — a convenient
 // stress workload. The schedule is deterministic for a given seed.
+// count must be in [1, n]; a storm with zero failures is a caller-side
+// no-op, not a plan.
 func RandomPlan(n int, count int, duration float64, seed int64) (*Plan, error) {
-	if count < 0 || count > n {
-		return nil, fmt.Errorf("faults: %d failures for %d modules", count, n)
+	if count <= 0 || count > n {
+		return nil, fmt.Errorf("%w: %d failures for %d modules", ErrBadCount, count, n)
 	}
-	if duration <= 0 {
-		return nil, fmt.Errorf("faults: non-positive duration %g", duration)
+	if !(duration > 0) || math.IsInf(duration, 0) { // !(x>0) also catches NaN
+		return nil, fmt.Errorf("%w: %g", ErrBadDuration, duration)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	perm := rng.Perm(n)

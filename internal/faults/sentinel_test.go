@@ -1,0 +1,48 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"tegrecon/internal/array"
+)
+
+// TestValidationSentinels pins the named-error contract: callers
+// expanding machine-built scenario matrices classify degenerate specs
+// with errors.Is, so each failure mode must wrap its sentinel — and
+// NaN inputs, which defeat comparison-based checks, must land on the
+// same sentinels as their plainly-out-of-range siblings.
+func TestValidationSentinels(t *testing.T) {
+	countCases := []struct{ count int }{{0}, {-1}, {6}}
+	for _, tc := range countCases {
+		_, err := RandomPlan(5, tc.count, 100, 1)
+		if !errors.Is(err, ErrBadCount) {
+			t.Errorf("count %d: error %v does not wrap ErrBadCount", tc.count, err)
+		}
+	}
+	durations := []float64{0, -10, math.NaN(), math.Inf(1)}
+	for _, d := range durations {
+		_, err := RandomPlan(5, 2, d, 1)
+		if !errors.Is(err, ErrBadDuration) {
+			t.Errorf("duration %g: error %v does not wrap ErrBadDuration", d, err)
+		}
+	}
+	eventCases := []struct {
+		name string
+		ev   Event
+	}{
+		{"module out of range", Event{TimeS: 1, Module: 5, To: array.FailedOpen}},
+		{"negative module", Event{TimeS: 1, Module: -1, To: array.FailedOpen}},
+		{"negative time", Event{TimeS: -1, Module: 0, To: array.FailedOpen}},
+		{"nan time", Event{TimeS: math.NaN(), Module: 0, To: array.FailedOpen}},
+		{"inf time", Event{TimeS: math.Inf(1), Module: 0, To: array.FailedOpen}},
+		{"unknown health", Event{TimeS: 1, Module: 0, To: array.FailedShort + 1}},
+	}
+	for _, tc := range eventCases {
+		_, err := NewPlan(5, []Event{tc.ev})
+		if !errors.Is(err, ErrBadEvent) {
+			t.Errorf("%s: error %v does not wrap ErrBadEvent", tc.name, err)
+		}
+	}
+}

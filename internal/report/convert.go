@@ -183,3 +183,52 @@ func FromFig5(r *experiments.Fig5Result) *Table {
 	}
 	return t
 }
+
+// FromMatrix converts a scenario-matrix sweep to long format, one row
+// per cell in stable (coordinate-sorted) order.
+func FromMatrix(r *experiments.MatrixResult) *Table {
+	title := "Scenario matrix"
+	if r.Name != "" {
+		title += " — " + r.Name
+	}
+	t := &Table{
+		Title: title,
+		Header: []string{"cycle", "scheme", "ambient_c", "coolant_offset_c", "paths",
+			"maldistribution", "fault", "modules", "duration_s", "energy_j",
+			"overhead_j", "switch_events", "capture_of_ideal"},
+	}
+	for _, c := range r.Cells {
+		capture := "/"
+		if c.IdealEnergyJ > 0 {
+			capture = pct(c.Ratio())
+		}
+		t.Rows = append(t.Rows, []string{
+			c.Cycle, c.Scheme, f1(c.AmbientC), f1(c.CoolantOffsetC),
+			strconv.Itoa(c.Paths), f2(c.Maldistribution), c.Fault,
+			strconv.Itoa(c.Modules), f1(c.DurationS), f1(c.EnergyOutJ),
+			f2(c.OverheadJ), strconv.Itoa(c.SwitchEvents), capture,
+		})
+	}
+	return t
+}
+
+// FromMatrixMarginals converts the per-axis roll-ups: one row per axis
+// value, averaged over every cell carrying it. Collapsed axes (a
+// single value) are omitted by Marginals itself.
+func FromMatrixMarginals(r *experiments.MatrixResult) *Table {
+	title := "Scenario matrix marginals"
+	if r.Name != "" {
+		title += " — " + r.Name
+	}
+	t := &Table{
+		Title:  title,
+		Header: []string{"axis", "value", "cells", "mean_energy_j", "mean_overhead_j", "mean_capture"},
+	}
+	for _, m := range r.Marginals() {
+		t.Rows = append(t.Rows, []string{
+			m.Axis, m.Value, strconv.Itoa(m.Cells),
+			f1(m.MeanEnergyJ), f2(m.MeanOverheadJ), pct(m.MeanRatio),
+		})
+	}
+	return t
+}

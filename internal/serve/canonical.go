@@ -5,6 +5,8 @@ import (
 	"encoding/hex"
 	"strconv"
 	"strings"
+
+	"tegrecon/internal/scenario"
 )
 
 // Content addressing: every cacheable request reduces to a canonical
@@ -53,6 +55,27 @@ func runKey(p runParams) string {
 	k.bool("battery", p.battery)
 	k.bool("det_runtime", p.detRuntime)
 	k.bool("ticks", p.keepTicks)
+	return k.sum()
+}
+
+// cellKey hashes one scenario-matrix cell. The cell coordinate is
+// already canonical and collision-free by construction — scenario
+// encodes every axis value (ambient, fault seed offsets, synth-cycle
+// parameters, CSV content hashes) hex-exactly into it — so the key
+// only needs to add what the coordinate deliberately leaves out: the
+// matrix-level run parameters (tick, noise, base seed, horizon) and
+// the cell's effective duration, which a matrix-level duration cap can
+// change without touching the coordinate. Keyed per cell, two matrices
+// sharing a cell share its cached result.
+func cellKey(p matrixParams, cell scenario.Cell) string {
+	var k keyBuilder
+	k.b.WriteString(keyVersion + "/cell")
+	k.num("tick_s", p.m.TickS)
+	k.num("noise_c", *p.m.SensorNoiseC)
+	k.int("seed", p.m.Seed)
+	k.int("horizon", int64(p.m.HorizonTicks))
+	k.num("dur_s", cell.DurationS)
+	k.str("coord", cell.Coord)
 	return k.sum()
 }
 

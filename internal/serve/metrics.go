@@ -22,6 +22,8 @@ type metrics struct {
 	computations     atomic.Int64 // jobs actually executed (cache/coalesce misses)
 	runs             atomic.Int64 // POST /v1/runs accepted
 	sweeps           atomic.Int64 // POST /v1/sweeps accepted
+	matrices         atomic.Int64 // POST /v1/matrix accepted
+	matrixCells      atomic.Int64 // matrix cells actually simulated (not recalled from cache)
 	coalesced        atomic.Int64 // requests served by waiting on an identical in-flight job
 	streams          atomic.Int64 // live SSE streams (gauge)
 	jobs             atomic.Int64 // jobs whose execution time landed in jobNanos
@@ -68,6 +70,8 @@ type Stats struct {
 	ActiveStreams  int64   // live SSE streams
 	Runs           int64   // run requests accepted
 	Sweeps         int64   // sweep requests accepted
+	Matrices       int64   // scenario-matrix requests accepted
+	MatrixCells    int64   // matrix cells actually simulated (cache misses)
 	Computations   int64   // jobs actually simulated
 	Coalesced      int64   // requests that shared an in-flight computation
 	CacheHits      int64   // result cache hits
@@ -98,6 +102,8 @@ func (s *Server) Stats() Stats {
 		ActiveStreams:  s.met.streams.Load(),
 		Runs:           s.met.runs.Load(),
 		Sweeps:         s.met.sweeps.Load(),
+		Matrices:       s.met.matrices.Load(),
+		MatrixCells:    s.met.matrixCells.Load(),
 		Computations:   s.met.computations.Load(),
 		Coalesced:      s.met.coalesced.Load(),
 		CacheHits:      hits,
@@ -142,6 +148,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"tegserve_active_streams", "Live SSE run streams.", "gauge", st.ActiveStreams},
 		{"tegserve_runs_total", "Run requests accepted.", "counter", st.Runs},
 		{"tegserve_sweeps_total", "Sweep requests accepted.", "counter", st.Sweeps},
+		{"tegserve_matrices_total", "Scenario-matrix requests accepted.", "counter", st.Matrices},
+		{"tegserve_matrix_cells_total", "Matrix cells actually simulated (not recalled from the cell cache).", "counter", st.MatrixCells},
 		{"tegserve_computations_total", "Jobs actually simulated (not served from cache or coalesced).", "counter", st.Computations},
 		{"tegserve_coalesced_total", "Requests that shared an identical in-flight computation.", "counter", st.Coalesced},
 		{"tegserve_cache_hits_total", "Result cache hits.", "counter", st.CacheHits},

@@ -15,6 +15,12 @@
 //	POST /v1/runs     one scheme over one cycle (JSON result, or SSE
 //	                  tick stream with "stream": true)
 //	POST /v1/sweeps   cycle × scheme matrix on the batch engine
+//	POST /v1/matrix   declarative scenario matrix (internal/scenario):
+//	                  expanded under the admission bounds, every cell
+//	                  content-addressed into the result cache, SSE
+//	                  per-cell progress with "stream": true
+//	GET  /v1/matrix   recently expanded matrices and, per key, each
+//	                  cell's cached/pending status
 //	/v1/sessions…     long-lived digital-twin sessions with bit-exact
 //	                  checkpoint/restore (see sessions.go)
 //	GET  /healthz     liveness (503 while draining)
@@ -72,6 +78,13 @@ type Config struct {
 	MaxTicksPerJob int
 	// MaxModules rejects requests for larger arrays (0 → 500).
 	MaxModules int
+	// MaxMatrixCells rejects scenario matrices that expand to more
+	// cells than this (0 → 2048). The per-job tick bound still applies
+	// to the matrix's total tick volume.
+	MaxMatrixCells int
+	// MaxMatrices bounds the registry of recently expanded matrices
+	// kept for GET /v1/matrix cell-status listing (0 → 32).
+	MaxMatrices int
 	// MaxSessions bounds simultaneously open digital-twin sessions;
 	// creates beyond the cap are shed with 503 (0 → 64).
 	MaxSessions int
@@ -120,6 +133,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxModules <= 0 {
 		c.MaxModules = 500
 	}
+	if c.MaxMatrixCells <= 0 {
+		c.MaxMatrixCells = 2048
+	}
+	if c.MaxMatrices <= 0 {
+		c.MaxMatrices = 32
+	}
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 64
 	}
@@ -146,6 +165,7 @@ type Server struct {
 	mux      *http.ServeMux
 	drainCh  chan struct{}
 	sessions *sessionRegistry
+	matrices *matrixRegistry
 }
 
 // New builds a server with the given bounds.
@@ -159,11 +179,15 @@ func New(cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		drainCh:  make(chan struct{}),
 		sessions: newSessionRegistry(cfg.MaxSessions, cfg.SessionIdleTTL),
+		matrices: newMatrixRegistry(cfg.MaxMatrices),
 	}
 	s.mux.HandleFunc("GET /v1/cycles", s.handleCycles)
 	s.mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
 	s.mux.HandleFunc("POST /v1/runs", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/matrix", s.handleMatrix)
+	s.mux.HandleFunc("GET /v1/matrix", s.handleMatrixList)
+	s.mux.HandleFunc("GET /v1/matrix/{key}", s.handleMatrixGet)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
 	s.mux.HandleFunc("GET /v1/sessions", s.handleSessionList)
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)

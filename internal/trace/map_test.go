@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMapChannel(t *testing.T) {
+	tr := buildTestTrace(t) // a = 0,2,4,6,8; b = 0,3,6,9,12
+	// The motivating transform: offset a channel while clamping at a
+	// floor (how scenario applies coolant offsets above ambient).
+	floor := 3.0
+	out, err := tr.MapChannel("b", func(v float64) float64 { return math.Max(v-4, floor) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB := []float64{3, 3, 3, 5, 8}
+	b, _ := out.Column("b")
+	for i := range wantB {
+		if b[i] != wantB[i] {
+			t.Fatalf("mapped b = %v, want %v", b, wantB)
+		}
+	}
+	// The untouched channel and the time base are copied verbatim, and
+	// the original trace is not mutated.
+	a, _ := out.Column("a")
+	origA, _ := tr.Column("a")
+	origB, _ := tr.Column("b")
+	for i := range a {
+		if a[i] != origA[i] {
+			t.Fatalf("channel a changed: %v vs %v", a, origA)
+		}
+		if out.Times[i] != tr.Times[i] {
+			t.Fatal("time base changed")
+		}
+		if origB[i] != float64(i)*3 {
+			t.Fatalf("original trace mutated: %v", origB)
+		}
+	}
+	// Deep copy: writing into the result must not reach the source.
+	out.Values[0][0] = 99
+	if tr.Values[0][0] == 99 {
+		t.Fatal("MapChannel shares value rows with the source")
+	}
+
+	if _, err := tr.MapChannel("nope", func(v float64) float64 { return v }); err == nil {
+		t.Fatal("unknown channel accepted")
+	}
+}

@@ -176,6 +176,26 @@ func (t *Trace) ScaleChannel(name string, factor float64) (*Trace, error) {
 	return out, nil
 }
 
+// MapChannel returns a copy of the trace with every value of the named
+// channel replaced by f(value). It generalizes ScaleChannel for
+// transforms that are not plain multiplications — e.g. offsetting a
+// coolant-inlet channel while clamping it at ambient.
+func (t *Trace) MapChannel(name string, f func(float64) float64) (*Trace, error) {
+	idx := t.ChannelIndex(name)
+	if idx < 0 {
+		return nil, fmt.Errorf("trace: unknown channel %q", name)
+	}
+	out := New(t.Channels...)
+	out.Times = append([]float64(nil), t.Times...)
+	out.Values = make([][]float64, len(t.Values))
+	for i, row := range t.Values {
+		nr := append([]float64(nil), row...)
+		nr[idx] = f(nr[idx])
+		out.Values[i] = nr
+	}
+	return out, nil
+}
+
 // WriteCSV encodes the trace as CSV with a header row ("time_s" followed
 // by the channel names).
 func (t *Trace) WriteCSV(w io.Writer) error {

@@ -28,6 +28,7 @@ import (
 	"tegrecon/internal/experiments"
 	"tegrecon/internal/faults"
 	"tegrecon/internal/predict"
+	"tegrecon/internal/scenario"
 	"tegrecon/internal/sim"
 	"tegrecon/internal/switchfab"
 	"tegrecon/internal/teg"
@@ -81,6 +82,15 @@ type (
 	ChargeProfile = charger.Profile
 	// ModuleHealth is a module failure state.
 	ModuleHealth = array.ModuleHealth
+	// ScenarioMatrix is a declarative multi-axis scenario grid (cycles
+	// × schemes × ambients × flow splits × fault plans × array sizes)
+	// that expands into a deterministic, stably-ordered job list.
+	ScenarioMatrix = scenario.Matrix
+	// MatrixOptions tunes a scenario-matrix sweep's engine.
+	MatrixOptions = experiments.MatrixOptions
+	// MatrixResult holds a matrix sweep's per-cell results and
+	// marginal roll-ups.
+	MatrixResult = experiments.MatrixResult
 )
 
 // TGM199 is the TGM-199-1.4-0.8 module model the paper uses.
@@ -263,6 +273,14 @@ func DefaultExperimentSetup() (*ExperimentSetup, error) { return experiments.Def
 // result into SimOptions.FaultPlan.
 func NewRandomFaultPlan(modules, count int, duration float64, seed int64) (*FaultPlan, error) {
 	return faults.RandomPlan(modules, count, duration, seed)
+}
+
+// RunScenarioMatrix expands and runs a declarative scenario matrix on
+// the parallel batch engine. Every cell's seed derives from its
+// canonical coordinate, so the sweep is bit-identical at any worker
+// count or stepping mode.
+func RunScenarioMatrix(m *ScenarioMatrix, opts MatrixOptions) (*MatrixResult, error) {
+	return experiments.MatrixSweep(m, opts)
 }
 
 // DefaultChargeProfile returns the standard 14.4 V bulk/absorption,
