@@ -18,6 +18,11 @@
 //
 //	session_step        one steady-state Session.Step (INOR, 100 modules):
 //	                    the zero-allocation gate of the tick engine
+//	session_step_instrumented
+//	                    session_step with 1-in-16 phase-timing sampling
+//	                    (the serve layer's default rate) — the
+//	                    observability tax, capped by the budget file
+//	                    relative to the plain suite
 //	table1_<scheme>     one full run per Table I scheme over the synthetic
 //	                    drive (dnor, inor, ehtr, baseline)
 //	scaling_inor_n<N>   a single INOR decision at N = 100, 200, 400, 800
@@ -87,7 +92,8 @@
 //	  "session_step_max_bytes_per_op":     64,
 //	  "session_step_max_ns_per_op":        0,    // 0 = not enforced
 //	  "sweep_throughput_min_ticks_per_sec": 1100, // 0 = not enforced
-//	  "matrix_expand_min_cells_per_sec":    500   // 0 = not enforced
+//	  "matrix_expand_min_cells_per_sec":    500,  // 0 = not enforced
+//	  "session_step_instrumented_max_overhead_frac": 0.15 // vs session_step; 0 = not enforced
 //	}
 package main
 
@@ -98,6 +104,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -111,6 +118,7 @@ import (
 
 	"tegrecon/internal/drive"
 	"tegrecon/internal/experiments"
+	"tegrecon/internal/obs"
 	"tegrecon/internal/scenario"
 	"tegrecon/internal/serve"
 	"tegrecon/internal/sim"
@@ -155,11 +163,19 @@ type Budget struct {
 	SweepThroughputMinTicksPerSec float64 `json:"sweep_throughput_min_ticks_per_sec"`
 	TwinSessionsMinTicksPerSec    float64 `json:"twin_sessions_min_ticks_per_sec"`
 	MatrixExpandMinCellsPerSec    float64 `json:"matrix_expand_min_cells_per_sec"`
+
+	// InstrumentedMaxOverheadFrac caps the phase-timing observability
+	// tax: session_step_instrumented's ns/op may exceed session_step's
+	// by at most this fraction (e.g. 0.10 = 10%). 0 = not enforced.
+	InstrumentedMaxOverheadFrac float64 `json:"session_step_instrumented_max_overhead_frac"`
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tegbench: ")
+	// Library code logs through slog; a bench run wants that quiet
+	// unless something is actually wrong.
+	slog.SetDefault(obs.MustLogger(os.Stderr, slog.LevelWarn, "text"))
 	var (
 		quick        = flag.Bool("quick", false, "shrink durations and iteration counts (CI mode)")
 		out          = flag.String("out", "", "write the JSON document to this file instead of stdout")
@@ -193,6 +209,7 @@ func main() {
 		run  func() (Result, error)
 	}{
 		{"session_step", func() (Result, error) { return benchSessionStep(runDur) }},
+		{"session_step_instrumented", func() (Result, error) { return benchSessionStepSampled(runDur, 16) }},
 		{"table1_dnor", func() (Result, error) { return benchTableScheme("DNOR", runDur) }},
 		{"table1_inor", func() (Result, error) { return benchTableScheme("INOR", runDur) }},
 		{"table1_ehtr", func() (Result, error) { return benchTableScheme("EHTR", runDur) }},
@@ -289,6 +306,24 @@ func enforceBudget(path string, doc Document) error {
 	if b.SessionStepMaxNsPerOp > 0 && step.NsPerOp > b.SessionStepMaxNsPerOp {
 		return fmt.Errorf("session_step ns/op %.0f exceeds budget %.0f", step.NsPerOp, b.SessionStepMaxNsPerOp)
 	}
+	if b.InstrumentedMaxOverheadFrac > 0 {
+		var inst *Result
+		for i := range doc.Results {
+			if doc.Results[i].Name == "session_step_instrumented" {
+				inst = &doc.Results[i]
+			}
+		}
+		if inst == nil {
+			return fmt.Errorf("no session_step_instrumented result to enforce against")
+		}
+		if step.NsPerOp <= 0 {
+			return fmt.Errorf("session_step ns/op %.0f cannot anchor the overhead cap", step.NsPerOp)
+		}
+		if frac := inst.NsPerOp/step.NsPerOp - 1; frac > b.InstrumentedMaxOverheadFrac {
+			return fmt.Errorf("session_step_instrumented overhead %.1f%% exceeds budget %.1f%% (%.0f vs %.0f ns/op)",
+				frac*100, b.InstrumentedMaxOverheadFrac*100, inst.NsPerOp, step.NsPerOp)
+		}
+	}
 	if b.SweepThroughputMinTicksPerSec > 0 {
 		var sweep *Result
 		for i := range doc.Results {
@@ -372,6 +407,14 @@ func preparedConds(s *experiments.Setup) ([]thermal.Conditions, error) {
 // benchSessionStep measures one steady-state control period of the
 // incremental engine — the zero-allocation acceptance gate.
 func benchSessionStep(seconds float64) (Result, error) {
+	return benchSessionStepSampled(seconds, 0)
+}
+
+// benchSessionStepSampled is benchSessionStep with phase-timing
+// sampling at the given interval — the session_step_instrumented suite
+// runs it at the serve layer's default rate so the budget file can cap
+// the observability overhead against the plain suite.
+func benchSessionStepSampled(seconds float64, sampleEvery int) (Result, error) {
 	s, err := benchSetup(seconds)
 	if err != nil {
 		return Result{}, err
@@ -387,6 +430,7 @@ func benchSessionStep(seconds float64) (Result, error) {
 	opts := s.Opts
 	opts.DeterministicRuntime = true
 	opts.KeepTicks = false
+	opts.PhaseSampleEvery = sampleEvery
 	sess, err := sim.NewSession(s.Sys, ctrl, opts)
 	if err != nil {
 		return Result{}, err

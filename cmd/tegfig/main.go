@@ -15,16 +15,21 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"strconv"
 
 	"tegrecon/internal/experiments"
+	"tegrecon/internal/obs"
 	"tegrecon/internal/teg"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tegfig: ")
+	// Library code logs through slog; a CLI run wants that quiet unless
+	// something is actually wrong.
+	slog.SetDefault(obs.MustLogger(os.Stderr, slog.LevelWarn, "text"))
 	var (
 		fig     = flag.String("fig", "1", "figure to emit: 1, 5, 6, 7 or scaling")
 		start   = flag.Float64("start", 20, "window start for figs 6/7 (s)")

@@ -9,6 +9,8 @@
 //	         [-workers 0] [-cache 256] [-cache-mb 256] [-drain-timeout 15s]
 //	         [-max-sessions 64] [-session-ttl 30m]
 //	         [-max-matrix-cells 2048] [-max-matrices 32]
+//	         [-log-level info] [-log-format text] [-phase-sample 0]
+//	         [-pprof-addr ""]
 //
 // Quick look:
 //
@@ -17,6 +19,13 @@
 //	curl -s -N -d '{"cycle":"wltc","scheme":"dnor","duration_s":60,"stream":true}' localhost:8080/v1/runs
 //	curl -s -d '{"scheme":"dnor","modules":50}' localhost:8080/v1/sessions
 //	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/v1/debug/phases
+//
+// Every response carries an X-Request-ID header (client-supplied or
+// server-minted) that also tags the request's structured access-log
+// line, so one ID correlates a client report with the server's view.
+// -pprof-addr serves net/http/pprof on its own listener, kept off the
+// public address so profiling endpoints are never internet-facing.
 //
 // SIGINT/SIGTERM drain gracefully: in-flight simulations abort within
 // one control period, streams close, and the process exits 0.
@@ -25,19 +34,19 @@ package main
 import (
 	"context"
 	"flag"
-	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"tegrecon/internal/obs"
 	"tegrecon/internal/serve"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tegserve: ")
 	var (
 		addr         = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
 		maxConc      = flag.Int("max-concurrent", 0, "simultaneously executing jobs (0 = all CPUs)")
@@ -53,8 +62,21 @@ func main() {
 		maxRestore   = flag.Int64("max-restore-draws", 0, "RNG fast-forward a checkpoint restore may claim, in draws (0 = 1e9, negative = unbounded)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown deadline")
 		drainGrace   = flag.Duration("drain-grace", 0, "keep the listener open this long after the drain starts so LB health probes observe the 503")
+		logLevel     = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logFormat    = flag.String("log-format", "text", "log encoding: text or json")
+		phaseSample  = flag.Int("phase-sample", 0, "tick-phase timing sample interval: time 1 in N control periods (0 = 16, negative = off)")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off; keep it loopback-only)")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	log, err := obs.NewLogger(os.Stderr, level, *logFormat)
+	if err != nil {
+		fatal(err)
+	}
 
 	// First signal starts the drain; a second one falls through to the
 	// default handler and kills immediately.
@@ -62,26 +84,60 @@ func main() {
 	defer stop()
 
 	srv := serve.New(serve.Config{
-		MaxConcurrent:   *maxConc,
-		MaxQueued:       *maxQueued,
-		Workers:         *workers,
-		CacheEntries:    *cacheSize,
-		CacheBytes:      *cacheMB << 20,
-		MaxTicksPerJob:  *maxTicks,
-		MaxMatrixCells:  *maxCells,
-		MaxMatrices:     *maxMatrices,
-		MaxSessions:     *maxSessions,
-		SessionIdleTTL:  *sessionTTL,
-		MaxRestoreDraws: *maxRestore,
-		DrainGrace:      *drainGrace,
+		MaxConcurrent:    *maxConc,
+		MaxQueued:        *maxQueued,
+		Workers:          *workers,
+		CacheEntries:     *cacheSize,
+		CacheBytes:       *cacheMB << 20,
+		MaxTicksPerJob:   *maxTicks,
+		MaxMatrixCells:   *maxCells,
+		MaxMatrices:      *maxMatrices,
+		MaxSessions:      *maxSessions,
+		SessionIdleTTL:   *sessionTTL,
+		MaxRestoreDraws:  *maxRestore,
+		DrainGrace:       *drainGrace,
+		Logger:           log,
+		PhaseSampleEvery: *phaseSample,
 	})
+
+	// The profiling listener is deliberately separate from the API one:
+	// pprof exposes heap contents and CPU samples, so it binds only
+	// where the operator points it and never rides the public mux.
+	if *pprofAddr != "" {
+		pl, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Error("pprof listen failed", "addr", *pprofAddr, "err", err)
+			os.Exit(1)
+		}
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Info("pprof listening", "addr", pl.Addr().String())
+		go func() {
+			if err := http.Serve(pl, pm); err != nil {
+				log.Warn("pprof server stopped", "err", err)
+			}
+		}()
+	}
+
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		log.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
-	log.Printf("listening on http://%s", l.Addr())
+	log.Info("listening", "addr", l.Addr().String(), "url", "http://"+l.Addr().String())
 	if err := srv.Serve(ctx, l, *drainTimeout); err != nil {
-		log.Fatal(err)
+		log.Error("serve failed", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("drained cleanly")
+	log.Info("drained cleanly")
+}
+
+// fatal reports a startup error before the logger exists.
+func fatal(err error) {
+	os.Stderr.WriteString("tegserve: " + err.Error() + "\n")
+	os.Exit(1)
 }

@@ -46,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -54,6 +55,7 @@ import (
 
 	"tegrecon/internal/drive"
 	"tegrecon/internal/experiments"
+	"tegrecon/internal/obs"
 	"tegrecon/internal/report"
 	"tegrecon/internal/sim"
 	"tegrecon/internal/termline"
@@ -84,6 +86,9 @@ func (p *progressMeter) done() {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tegsim: ")
+	// Library code logs through slog; a CLI run wants that quiet unless
+	// something is actually wrong.
+	slog.SetDefault(obs.MustLogger(os.Stderr, slog.LevelWarn, "text"))
 	var (
 		duration = flag.Float64("duration", 800, "drive duration in seconds")
 		modules  = flag.Int("modules", 100, "TEG module count")

@@ -25,12 +25,14 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 
 	"tegrecon/internal/drive"
+	"tegrecon/internal/obs"
 	"tegrecon/internal/stats"
 	"tegrecon/internal/termline"
 	"tegrecon/internal/trace"
@@ -73,6 +75,9 @@ func (p *progressWriter) samples() int {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tegtrace: ")
+	// Library code logs through slog; a CLI run wants that quiet unless
+	// something is actually wrong.
+	slog.SetDefault(obs.MustLogger(os.Stderr, slog.LevelWarn, "text"))
 	// The -cycle usage text advertises exactly the registered stochastic
 	// profiles and standard cycles, so a new registry entry in either
 	// shows up here without a CLI edit.

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Build identifies the running binary: the VCS revision it was built
+// from, whether the tree was modified, and the Go toolchain. Fleet
+// rollouts are distinguishable only if every instance can say which
+// build it is — /healthz and /metrics both report these fields.
+type Build struct {
+	// GoVersion is the toolchain that built the binary ("go1.24.0").
+	GoVersion string
+	// Revision is the VCS commit hash, "" when the binary was built
+	// outside a checkout (go run from a module zip, stripped builds).
+	Revision string
+	// Modified reports uncommitted changes at build time.
+	Modified bool
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo Build
+)
+
+// BuildInfo reads the binary's embedded build information once and
+// caches it; safe for concurrent use.
+func BuildInfo() Build {
+	buildOnce.Do(func() {
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.GoVersion = bi.GoVersion
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// ShortRevision returns the first 12 hex digits of the revision, or
+// "unknown" when the build carries none — the spelling log lines and
+// metrics labels use.
+func (b Build) ShortRevision() string {
+	if b.Revision == "" {
+		return "unknown"
+	}
+	if len(b.Revision) > 12 {
+		return b.Revision[:12]
+	}
+	return b.Revision
+}

@@ -1,0 +1,124 @@
+// Package obs is the repository's observability substrate: structured
+// logging (log/slog construction shared by every binary), request-ID
+// generation and context propagation, build identity, and
+// dependency-free fixed-bucket latency histograms exported in the
+// Prometheus text format.
+//
+// The package deliberately depends on nothing but the standard library
+// and allocates nothing on its hot paths: Histogram.Observe is a few
+// atomic adds, so it can sit inside the serve layer's request loop (and
+// next to the simulator's zero-allocation tick engine) without showing
+// up in an allocation profile.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// --- structured logging ---
+
+// ParseLevel maps the CLI spelling of a log level onto slog's.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (debug|info|warn|error)", s)
+	}
+}
+
+// NewLogger builds a slog.Logger writing to w in the given format:
+// "text" (human-readable key=value lines) or "json" (one JSON object
+// per line, the machine-ingestible access-log format).
+func NewLogger(w io.Writer, level slog.Level, format string) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (text|json)", format)
+	}
+}
+
+// MustLogger is NewLogger for call sites whose level and format are
+// compile-time constants, where the error branch is unreachable.
+func MustLogger(w io.Writer, level slog.Level, format string) *slog.Logger {
+	l, err := NewLogger(w, level, format)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// NopLogger returns a logger that discards everything — the default
+// for embedded servers and tests, so a library user opts *into* log
+// output instead of having to silence it.
+func NopLogger() *slog.Logger { return slog.New(slog.DiscardHandler) }
+
+// --- request-ID propagation ---
+
+// ridKey is the context key carrying a request's correlation ID.
+type ridKey struct{}
+
+// WithRequestID returns ctx carrying the request ID, retrievable with
+// RequestID. The ID rides the context through the job queue into
+// simulation work, so a log line deep in a coalesced cache fill can
+// still name the request that initiated it.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ridKey{}, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}
+
+// maxRequestIDLen bounds an accepted client-supplied X-Request-ID:
+// long enough for any UUID-ish scheme, short enough that a hostile
+// header cannot bloat every log line it correlates.
+const maxRequestIDLen = 128
+
+// NewRequestID returns a fresh random request ID ("req-" + 16 hex).
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; correlation still
+		// beats a hard failure on the serving path.
+		return "req-unavailable"
+	}
+	return "req-" + hex.EncodeToString(b[:])
+}
+
+// SanitizeRequestID makes a client-supplied request ID safe to echo
+// into headers and log lines: control bytes (header/log injection) are
+// dropped, over-long values truncated, and an empty result reported so
+// the caller generates a fresh ID instead.
+func SanitizeRequestID(id string) (string, bool) {
+	var b strings.Builder
+	for _, r := range id {
+		if r < 0x20 || r == 0x7f {
+			continue
+		}
+		b.WriteRune(r)
+		if b.Len() >= maxRequestIDLen {
+			break
+		}
+	}
+	out := strings.TrimSpace(b.String())
+	return out, out != ""
+}

@@ -327,6 +327,7 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if payload, ok := s.cache.get(key); ok {
+		s.logCache(r, "hit", key)
 		writePayload(w, "hit", payload)
 		return
 	}
@@ -349,7 +350,7 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 		return b, err
 	})
 	if err != nil {
-		s.writeJobError(w, err)
+		s.writeJobError(w, r, err)
 		return
 	}
 	state := "miss"
@@ -357,6 +358,7 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 		state = "coalesced"
 		s.met.coalesced.Add(1)
 	}
+	s.logCache(r, state, key)
 	w.Header().Set("X-Matrix-Cells-Cached", strconv.Itoa(cachedCells))
 	writePayload(w, state, payload)
 }
@@ -370,7 +372,7 @@ func (s *Server) streamMatrix(w http.ResponseWriter, r *http.Request, p matrixPa
 	ctx, cancel := s.jobContext(r.Context())
 	defer cancel()
 	if err := s.q.acquire(ctx); err != nil {
-		s.writeJobError(w, err)
+		s.writeJobError(w, r, err)
 		return
 	}
 	defer s.q.release()
@@ -380,10 +382,13 @@ func (s *Server) streamMatrix(w http.ResponseWriter, r *http.Request, p matrixPa
 		return
 	}
 	s.met.streams.Add(1)
-	defer s.met.streams.Add(-1)
 	s.met.computations.Add(1)
 	started := time.Now()
-	defer func() { s.met.observeJob(time.Since(started)) }()
+	defer func() {
+		s.met.streams.Add(-1)
+		s.met.streamHist.ObserveDuration(time.Since(started))
+		s.met.observeJob(time.Since(started))
+	}()
 
 	ex, keys, err := s.expandMatrix(p, key)
 	if err != nil {

@@ -10,12 +10,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
+
+	"tegrecon/internal/obs"
+	"tegrecon/internal/sim"
 )
 
-// metrics holds the server's monotonic counters. Gauges (queue depth,
-// active sessions, cache entries) are read live from their owners.
+// metrics holds the server's monotonic counters and latency
+// histograms. Gauges (queue depth, active sessions, cache entries) are
+// read live from their owners.
 type metrics struct {
 	start            time.Time
 	ticks            atomic.Int64 // control periods simulated, all jobs
@@ -27,19 +32,38 @@ type metrics struct {
 	coalesced        atomic.Int64 // requests served by waiting on an identical in-flight job
 	streams          atomic.Int64 // live SSE streams (gauge)
 	jobs             atomic.Int64 // jobs whose execution time landed in jobNanos
-	jobNanos         atomic.Int64 // cumulative job execution time (Retry-After's numerator)
+	jobNanos         atomic.Int64 // cumulative job execution time
 	sessionsCreated  atomic.Int64 // twin sessions opened (fresh and restored)
 	sessionsRestored atomic.Int64 // twin sessions opened from a checkpoint
 	sessionsEvicted  atomic.Int64 // twin sessions evicted past the idle TTL
 	sessionSteps     atomic.Int64 // control periods applied through /v1/sessions/{id}/step
 	checkpoints      atomic.Int64 // checkpoint payloads served
+
+	// Latency distributions. The counters above say how much; these say
+	// how long — per-route request latency, job execution time (the p90
+	// feeding Retry-After), and SSE stream lifetimes.
+	httpHist   *obs.HistogramVec // http_request_seconds{route,status}
+	jobHist    *obs.Histogram    // job_seconds
+	streamHist *obs.Histogram    // stream_seconds
 }
 
-// observeJob folds one job's execution time into the mean the 503
-// Retry-After derivation uses.
+func newMetrics() metrics {
+	return metrics{
+		start: time.Now(),
+		httpHist: obs.NewHistogramVec("http_request_seconds",
+			"HTTP request latency by route and status.",
+			[]string{"route", "status"}, obs.DefBuckets()),
+		jobHist:    obs.NewHistogram(obs.DefBuckets()),
+		streamHist: obs.NewHistogram(obs.DefBuckets()),
+	}
+}
+
+// observeJob folds one job's execution time into the job-latency
+// histogram whose p90 the 503 Retry-After derivation reads.
 func (m *metrics) observeJob(d time.Duration) {
 	m.jobNanos.Add(int64(d))
 	m.jobs.Add(1)
+	m.jobHist.ObserveDuration(d)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -47,6 +71,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
+	b := obs.BuildInfo()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]any{
@@ -56,6 +81,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"queue_depth":     s.q.depth(),
 		"cache_entries":   s.cache.len(),
 		"twin_sessions":   s.sessions.len(),
+		"go_version":      b.GoVersion,
+		"revision":        b.ShortRevision(),
+		"modified":        b.Modified,
 	})
 }
 
@@ -88,6 +116,10 @@ type Stats struct {
 	SessionsEvicted  int64 // twin sessions evicted past the idle TTL
 	SessionSteps     int64 // control periods applied through session steps
 	Checkpoints      int64 // checkpoint payloads served
+
+	// Phases is the service-wide sampled phase-timing aggregate (see
+	// GET /v1/debug/phases); zero when phase sampling is disabled.
+	Phases sim.PhaseTimings
 }
 
 // Stats snapshots the server's counters. The counters are independent
@@ -118,6 +150,8 @@ func (s *Server) Stats() Stats {
 		SessionsEvicted:  s.met.sessionsEvicted.Load(),
 		SessionSteps:     s.met.sessionSteps.Load(),
 		Checkpoints:      s.met.checkpoints.Load(),
+
+		Phases: s.phases.snapshot(),
 	}
 	if hits+misses > 0 {
 		st.CacheHitRatio = float64(hits) / float64(hits+misses)
@@ -176,4 +210,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "%s %d\n", m.name, v)
 		}
 	}
+
+	// Build identity: the constant-1 info-metric idiom, so a fleet query
+	// can group instances by the revision they run.
+	b := obs.BuildInfo()
+	fmt.Fprintf(w, "# HELP tegserve_build_info Build identity of the running binary (constant 1).\n# TYPE tegserve_build_info gauge\n")
+	fmt.Fprintf(w, "tegserve_build_info{go_version=%q,revision=%q,modified=%q} 1\n",
+		b.GoVersion, b.ShortRevision(), strconv.FormatBool(b.Modified))
+
+	// Sampled tick-phase timings (GET /v1/debug/phases in scrapeable
+	// form): which of temps/sense/decide/act the fleet's workload spends
+	// its simulated control periods in.
+	fmt.Fprintf(w, "# HELP tegserve_phase_samples_total Fully phase-timed control periods (1-in-N sampling).\n# TYPE tegserve_phase_samples_total counter\n")
+	fmt.Fprintf(w, "tegserve_phase_samples_total %d\n", st.Phases.Samples)
+	fmt.Fprintf(w, "# HELP tegserve_phase_seconds_total Sampled wall-clock seconds per tick phase.\n# TYPE tegserve_phase_seconds_total counter\n")
+	for _, p := range []struct {
+		phase string
+		ns    int64
+	}{
+		{"temps", st.Phases.TempsNs},
+		{"sense", st.Phases.SenseNs},
+		{"decide", st.Phases.DecideNs},
+		{"act", st.Phases.ActNs},
+	} {
+		fmt.Fprintf(w, "tegserve_phase_seconds_total{phase=%q} %g\n", p.phase, float64(p.ns)/1e9)
+	}
+
+	s.met.httpHist.WritePrometheus(w)
+	s.met.jobHist.WritePrometheus(w, "job_seconds", "Job execution time (runs, sweeps, matrices, restores, step batches).")
+	s.met.streamHist.WritePrometheus(w, "stream_seconds", "SSE stream lifetime from accept to close.")
 }

@@ -1,0 +1,162 @@
+// Request-scoped observability: the middleware wrapping every route.
+// It assigns (or sanitizes and echoes) the X-Request-ID correlation
+// header, carries the ID through the request context into the job
+// queue and the simulation engine, captures the response status for
+// the per-route latency histogram, recovers handler panics into logged
+// 500s, and emits one structured access-log line per request.
+
+package serve
+
+import (
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"tegrecon/internal/obs"
+)
+
+// statusWriter captures the status code and byte count a handler
+// writes, so the access log and the latency histogram can label the
+// response after the fact.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(b)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// flushWriter is statusWriter for flushable responses. The SSE event
+// writer type-asserts http.Flusher on the ResponseWriter it receives,
+// so the wrapper must not swallow the interface — wrap picks this
+// variant whenever the underlying writer flushes.
+type flushWriter struct {
+	statusWriter
+}
+
+func (fw *flushWriter) Flush() {
+	if fw.status == 0 {
+		fw.status = http.StatusOK
+	}
+	fw.statusWriter.ResponseWriter.(http.Flusher).Flush()
+}
+
+// wrapWriter wraps w preserving its Flusher capability: the handler
+// gets the wrapper to write through, the middleware keeps the embedded
+// statusWriter to read the outcome from.
+func wrapWriter(w http.ResponseWriter) (http.ResponseWriter, *statusWriter) {
+	if _, ok := w.(http.Flusher); ok {
+		fw := &flushWriter{statusWriter{ResponseWriter: w}}
+		return fw, &fw.statusWriter
+	}
+	sw := &statusWriter{ResponseWriter: w}
+	return sw, sw
+}
+
+// requestID resolves the request's correlation ID: a client-supplied
+// X-Request-ID survives if it sanitizes to something non-empty
+// (control bytes dropped, length capped), otherwise the server mints
+// one. Either way the response echoes the ID, so the client can quote
+// it when reporting a failure and the log line is one grep away.
+func requestID(r *http.Request) string {
+	if id, ok := obs.SanitizeRequestID(r.Header.Get("X-Request-ID")); ok {
+		return id
+	}
+	return obs.NewRequestID()
+}
+
+// withObservability is the outermost handler: request-ID assignment,
+// access logging, latency recording, panic recovery.
+func (s *Server) withObservability(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := requestID(r)
+		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(obs.WithRequestID(r.Context(), id))
+		// The mux sets r.Pattern on its own clone of the request, after
+		// this middleware ran — resolve the route here so the histogram's
+		// label is the bounded pattern set, never the raw (unbounded,
+		// client-controlled) URL path.
+		_, route := s.mux.Handler(r)
+		if route == "" {
+			route = "unmatched"
+		}
+		log := s.log.With("request_id", id)
+		log.Debug("request start", "method", r.Method, "path", r.URL.Path, "route", route)
+
+		ww, sw := wrapWriter(w)
+		started := time.Now()
+		finish := func() {
+			if sw.status == 0 {
+				sw.status = http.StatusOK
+			}
+			elapsed := time.Since(started)
+			s.met.httpHist.With(route, statusLabel(sw.status)).ObserveDuration(elapsed)
+			log.Info("request",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"route", route,
+				"status", sw.status,
+				"bytes", sw.bytes,
+				"dur_ms", float64(elapsed.Nanoseconds())/1e6,
+			)
+		}
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					// The sentinel asks the server to abort the connection
+					// quietly; honor it after accounting the request.
+					sw.status = http.StatusInternalServerError
+					finish()
+					panic(rec)
+				}
+				log.Error("handler panic", "route", route, "panic", rec, "stack", string(debug.Stack()))
+				if sw.status == 0 {
+					sw.WriteHeader(http.StatusInternalServerError)
+				} else {
+					sw.status = http.StatusInternalServerError
+				}
+				finish()
+				return
+			}
+			finish()
+		}()
+		next.ServeHTTP(ww, r)
+	})
+}
+
+// statusLabel renders a status code for the histogram's label without
+// allocating for the common codes.
+func statusLabel(code int) string {
+	switch code {
+	case http.StatusOK:
+		return "200"
+	case http.StatusCreated:
+		return "201"
+	case http.StatusNoContent:
+		return "204"
+	case http.StatusBadRequest:
+		return "400"
+	case http.StatusNotFound:
+		return "404"
+	case http.StatusInternalServerError:
+		return "500"
+	case http.StatusServiceUnavailable:
+		return "503"
+	}
+	return strconv.Itoa(code)
+}

@@ -1,0 +1,99 @@
+// Service-wide phase-timing aggregation: every run and twin step folds
+// its session's sampled sim.PhaseTimings into one set of atomic
+// accumulators, queryable as GET /v1/debug/phases and scraped through
+// /metrics — so "decide dominates this workload" is a live service
+// fact, not a benchmark-only one.
+
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+
+	"tegrecon/internal/sim"
+)
+
+// phaseAgg accumulates sampled phase timings across all jobs.
+type phaseAgg struct {
+	samples atomic.Int64
+	temps   atomic.Int64
+	sense   atomic.Int64
+	decide  atomic.Int64
+	act     atomic.Int64
+}
+
+func (a *phaseAgg) add(p sim.PhaseTimings) {
+	if p.Samples == 0 && p.TotalNs() == 0 {
+		return
+	}
+	a.samples.Add(p.Samples)
+	a.temps.Add(p.TempsNs)
+	a.sense.Add(p.SenseNs)
+	a.decide.Add(p.DecideNs)
+	a.act.Add(p.ActNs)
+}
+
+func (a *phaseAgg) snapshot() sim.PhaseTimings {
+	return sim.PhaseTimings{
+		Samples:  a.samples.Load(),
+		TempsNs:  a.temps.Load(),
+		SenseNs:  a.sense.Load(),
+		DecideNs: a.decide.Load(),
+		ActNs:    a.act.Load(),
+	}
+}
+
+// phaseDelta returns after minus before — the timings one bounded
+// piece of work (a twin step batch) contributed to a live session's
+// accumulator.
+func phaseDelta(before, after sim.PhaseTimings) sim.PhaseTimings {
+	return sim.PhaseTimings{
+		Samples:  after.Samples - before.Samples,
+		TempsNs:  after.TempsNs - before.TempsNs,
+		SenseNs:  after.SenseNs - before.SenseNs,
+		DecideNs: after.DecideNs - before.DecideNs,
+		ActNs:    after.ActNs - before.ActNs,
+	}
+}
+
+// phaseReport is the GET /v1/debug/phases body: absolute sampled time
+// per phase plus each phase's share of the sampled total.
+type phaseReport struct {
+	SampleEvery int     `json:"sample_every"` // 0 = timing disabled
+	Samples     int64   `json:"samples"`
+	TempsS      float64 `json:"temps_s"`
+	SenseS      float64 `json:"sense_s"`
+	DecideS     float64 `json:"decide_s"`
+	ActS        float64 `json:"act_s"`
+	TotalS      float64 `json:"total_s"`
+	TempsFrac   float64 `json:"temps_frac"`
+	SenseFrac   float64 `json:"sense_frac"`
+	DecideFrac  float64 `json:"decide_frac"`
+	ActFrac     float64 `json:"act_frac"`
+}
+
+func (s *Server) phaseReport() phaseReport {
+	p := s.phases.snapshot()
+	rep := phaseReport{
+		SampleEvery: s.cfg.PhaseSampleEvery,
+		Samples:     p.Samples,
+		TempsS:      float64(p.TempsNs) / 1e9,
+		SenseS:      float64(p.SenseNs) / 1e9,
+		DecideS:     float64(p.DecideNs) / 1e9,
+		ActS:        float64(p.ActNs) / 1e9,
+		TotalS:      float64(p.TotalNs()) / 1e9,
+	}
+	if total := p.TotalNs(); total > 0 {
+		rep.TempsFrac = float64(p.TempsNs) / float64(total)
+		rep.SenseFrac = float64(p.SenseNs) / float64(total)
+		rep.DecideFrac = float64(p.DecideNs) / float64(total)
+		rep.ActFrac = float64(p.ActNs) / float64(total)
+	}
+	return rep
+}
+
+func (s *Server) handleDebugPhases(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"phases": s.phaseReport()})
+}

@@ -40,6 +40,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -50,6 +51,7 @@ import (
 
 	"tegrecon/internal/drive"
 	"tegrecon/internal/experiments"
+	"tegrecon/internal/obs"
 	"tegrecon/internal/report"
 	"tegrecon/internal/sim"
 )
@@ -106,6 +108,18 @@ type Config struct {
 	// out instead of seeing connection-refused (0 → no grace window;
 	// only the Serve path uses it).
 	DrainGrace time.Duration
+	// Logger receives the server's structured logs — the access log
+	// plus queue-shed, cache, session-lifecycle and drain events (nil →
+	// discard; an embedded server opts into output, never has to
+	// silence it).
+	Logger *slog.Logger
+	// PhaseSampleEvery sets sim.Options.PhaseSampleEvery on runs and
+	// fresh twin sessions: every N-th control period the four tick
+	// phases are wall-clock-timed into the service-wide aggregate
+	// behind GET /v1/debug/phases (0 → 16; negative → timing off).
+	// Restored sessions step untimed — a checkpoint fixes the physics
+	// options and observability knobs are not part of them.
+	PhaseSampleEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -151,6 +165,15 @@ func (c Config) withDefaults() Config {
 	if c.SessionIdleTTL <= 0 {
 		c.SessionIdleTTL = 30 * time.Minute
 	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
+	}
+	if c.PhaseSampleEvery == 0 {
+		c.PhaseSampleEvery = 16
+	}
+	if c.PhaseSampleEvery < 0 {
+		c.PhaseSampleEvery = 0
+	}
 	return c
 }
 
@@ -158,11 +181,14 @@ func (c Config) withDefaults() Config {
 // Handler on any http.Server, or let Serve own the listener lifecycle.
 type Server struct {
 	cfg      Config
+	log      *slog.Logger
 	q        *queue
 	cache    *cache
 	flights  flightGroup
 	met      metrics
+	phases   phaseAgg
 	mux      *http.ServeMux
+	handler  http.Handler
 	drainCh  chan struct{}
 	sessions *sessionRegistry
 	matrices *matrixRegistry
@@ -173,9 +199,10 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
+		log:      cfg.Logger,
 		q:        newQueue(cfg.MaxConcurrent, cfg.MaxQueued),
 		cache:    newCache(cfg.CacheEntries, cfg.CacheBytes),
-		met:      metrics{start: time.Now()},
+		met:      newMetrics(),
 		mux:      http.NewServeMux(),
 		drainCh:  make(chan struct{}),
 		sessions: newSessionRegistry(cfg.MaxSessions, cfg.SessionIdleTTL),
@@ -194,13 +221,16 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleSessionStep)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/checkpoint", s.handleSessionCheckpoint)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("GET /v1/debug/phases", s.handleDebugPhases)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.handler = s.withObservability(s.mux)
 	return s
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler (the routes behind the
+// request-ID / access-log / latency middleware).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Drain begins graceful shutdown: new jobs are refused and every
 // in-flight job's context is canceled, aborting each simulation within
@@ -210,6 +240,12 @@ func (s *Server) Drain() {
 	case <-s.drainCh:
 	default:
 		close(s.drainCh)
+		s.log.Info("drain started",
+			"queue_depth", s.q.depth(),
+			"active_jobs", s.q.active(),
+			"open_streams", s.met.streams.Load(),
+			"twin_sessions", s.sessions.len(),
+		)
 	}
 }
 
@@ -283,18 +319,21 @@ func (s *Server) detachedJobContext() (context.Context, context.CancelFunc) {
 // --- response helpers ---
 
 // retryAfterSeconds derives a 503's Retry-After from the live load:
-// queue depth × the observed mean job execution time, clamped to
-// [1, 30] seconds. An idle or newly started server (no jobs observed
-// yet, or an empty queue) advises the 1 s floor; a deep queue of slow
-// sweeps advises up to the 30 s ceiling instead of inviting every shed
-// client back while the backlog is still draining.
+// queue depth × the p90 job execution time from the job-latency
+// histogram, clamped to [1, 30] seconds. The p90 replaced the old
+// global mean because the mean is dishonest under mixed load — a
+// stream of millisecond cache-adjacent runs drags it far below what a
+// queued client will actually wait behind a few multi-second sweeps.
+// An idle or newly started server (no jobs observed yet, or an empty
+// queue) advises the 1 s floor; a deep queue of slow sweeps advises up
+// to the 30 s ceiling instead of inviting every shed client back while
+// the backlog is still draining.
 func (s *Server) retryAfterSeconds() int {
-	jobs := s.met.jobs.Load()
-	if jobs == 0 {
+	if s.met.jobHist.Count() == 0 {
 		return 1
 	}
-	meanS := (time.Duration(s.met.jobNanos.Load()) / time.Duration(jobs)).Seconds()
-	secs := int(math.Ceil(float64(s.q.depth()) * meanS))
+	p90 := s.met.jobHist.Quantile(0.9)
+	secs := int(math.Ceil(float64(s.q.depth()) * p90))
 	if secs < 1 {
 		secs = 1
 	}
@@ -318,18 +357,29 @@ func (s *Server) writeHTTPError(w http.ResponseWriter, err *httpError) {
 }
 
 // writeJobError maps an execution failure onto a status: shed load and
-// shutdown aborts are retryable 503s, anything else is a 500.
-func (s *Server) writeJobError(w http.ResponseWriter, err error) {
+// shutdown aborts are retryable 503s, anything else is a 500. The
+// request supplies the correlation ID the shed/failure log line needs.
+func (s *Server) writeJobError(w http.ResponseWriter, r *http.Request, err error) {
+	rid := obs.RequestID(r.Context())
 	switch {
 	case errors.Is(err, errQueueFull):
+		s.log.Warn("queue full, shedding request",
+			"request_id", rid, "queue_depth", s.q.depth(), "retry_after_s", s.retryAfterSeconds())
 		s.writeJSONError(w, http.StatusServiceUnavailable, "job queue full, retry later")
 	case errors.Is(err, context.Canceled) && s.Draining():
 		s.writeJSONError(w, http.StatusServiceUnavailable, "server draining")
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.writeJSONError(w, http.StatusServiceUnavailable, err.Error())
 	default:
+		s.log.Error("job failed", "request_id", rid, "error", err)
 		s.writeJSONError(w, http.StatusInternalServerError, err.Error())
 	}
+}
+
+// logCache records one request's cache outcome (hit / miss / coalesced
+// / bypass) against its correlation ID.
+func (s *Server) logCache(r *http.Request, state, key string) {
+	s.log.Debug("cache", "state", state, "key", key, "request_id", obs.RequestID(r.Context()))
 }
 
 func writePayload(w http.ResponseWriter, cacheState string, payload []byte) {
@@ -400,13 +450,21 @@ func (s *Server) executeRun(ctx context.Context, p runParams, onTick func(sim.Ti
 	opts.Battery = p.battery
 	opts.DeterministicRuntime = p.detRuntime
 	opts.KeepTicks = p.keepTicks
+	opts.PhaseSampleEvery = s.cfg.PhaseSampleEvery
 	opts.OnTick = func(t sim.Tick) {
 		s.met.ticks.Add(1)
 		if onTick != nil {
 			onTick(t)
 		}
 	}
-	return sim.RunContext(ctx, sys, tr, ctrl, opts)
+	res, err := sim.RunContext(ctx, sys, tr, ctrl, opts)
+	if err == nil {
+		// Sampled phase timings are observability, not physics: they fold
+		// into the service aggregate here and never into the serialized
+		// (cached, byte-identity-checked) payload.
+		s.phases.add(res.Phases)
+	}
+	return res, err
 }
 
 // runPayload claims a queue slot, executes the run and encodes the
@@ -463,13 +521,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 		payload, err := s.runPayload(ctx, p)
 		if err != nil {
-			s.writeJobError(w, err)
+			s.writeJobError(w, r, err)
 			return
 		}
+		s.logCache(r, "bypass", key)
 		writePayload(w, "bypass", payload)
 		return
 	}
 	if payload, ok := s.cache.get(key); ok {
+		s.logCache(r, "hit", key)
 		writePayload(w, "hit", payload)
 		return
 	}
@@ -490,7 +550,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return b, err
 	})
 	if err != nil {
-		s.writeJobError(w, err)
+		s.writeJobError(w, r, err)
 		return
 	}
 	state := "miss"
@@ -498,6 +558,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		state = "coalesced"
 		s.met.coalesced.Add(1)
 	}
+	s.logCache(r, state, key)
 	writePayload(w, state, payload)
 }
 
@@ -509,7 +570,7 @@ func (s *Server) streamRun(w http.ResponseWriter, r *http.Request, p runParams, 
 	ctx, cancel := s.jobContext(r.Context())
 	defer cancel()
 	if err := s.q.acquire(ctx); err != nil {
-		s.writeJobError(w, err)
+		s.writeJobError(w, r, err)
 		return
 	}
 	defer s.q.release()
@@ -519,10 +580,13 @@ func (s *Server) streamRun(w http.ResponseWriter, r *http.Request, p runParams, 
 		return
 	}
 	s.met.streams.Add(1)
-	defer s.met.streams.Add(-1)
 	s.met.computations.Add(1)
 	started := time.Now()
-	defer func() { s.met.observeJob(time.Since(started)) }()
+	defer func() {
+		s.met.streams.Add(-1)
+		s.met.streamHist.ObserveDuration(time.Since(started))
+		s.met.observeJob(time.Since(started))
+	}()
 
 	start, _ := json.Marshal(map[string]any{
 		"key":        key,
@@ -632,6 +696,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	key := sweepKey(p)
 	w.Header().Set("X-Cache-Key", key)
 	if payload, ok := s.cache.get(key); ok {
+		s.logCache(r, "hit", key)
 		writePayload(w, "hit", payload)
 		return
 	}
@@ -650,7 +715,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return b, err
 	})
 	if err != nil {
-		s.writeJobError(w, err)
+		s.writeJobError(w, r, err)
 		return
 	}
 	state := "miss"
@@ -658,5 +723,6 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		state = "coalesced"
 		s.met.coalesced.Add(1)
 	}
+	s.logCache(r, state, key)
 	writePayload(w, state, payload)
 }

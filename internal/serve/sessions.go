@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"tegrecon/internal/drive"
+	"tegrecon/internal/obs"
 	"tegrecon/internal/report"
 	"tegrecon/internal/sim"
 	"tegrecon/internal/thermal"
@@ -169,6 +170,14 @@ func (r *sessionRegistry) len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.entries)
+}
+
+// noteEvicted accounts (and logs) a registry sweep's TTL evictions.
+func (s *Server) noteEvicted(n int) {
+	if n > 0 {
+		s.met.sessionsEvicted.Add(int64(n))
+		s.log.Info("idle sessions evicted", "count", n, "ttl_s", s.cfg.SessionIdleTTL.Seconds())
+	}
 }
 
 func newSessionID() (string, error) {
@@ -299,7 +308,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	// whole RNG history). add() re-checks under its lock, so a race
 	// between two creates for the last slot still resolves correctly.
 	evicted, full := s.sessions.full(time.Now())
-	s.met.sessionsEvicted.Add(int64(evicted))
+	s.noteEvicted(evicted)
 	if full {
 		s.writeJSONError(w, http.StatusServiceUnavailable,
 			fmt.Sprintf("session registry full (%d open), retry later or delete one", s.cfg.MaxSessions))
@@ -343,17 +352,21 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		sys.Modules = st.Modules
 		ctx, cancel := s.jobContext(r.Context())
 		defer cancel()
-		if err := s.q.acquire(ctx); err != nil {
-			s.writeJobError(w, err)
-			return
-		}
-		started := time.Now()
-		sess, err = sim.RestoreSessionContext(ctx, sys, st)
-		s.met.observeJob(time.Since(started))
-		s.q.release()
+		// The queue slot and the job timer are released by defers inside
+		// the closure (not by explicit calls on the success path) so a
+		// panic during the restore replay cannot leak an execution slot.
+		sess, err = func() (*sim.Session, error) {
+			if err := s.q.acquire(ctx); err != nil {
+				return nil, err
+			}
+			defer s.q.release()
+			started := time.Now()
+			defer func() { s.met.observeJob(time.Since(started)) }()
+			return sim.RestoreSessionContext(ctx, sys, st)
+		}()
 		if err != nil {
-			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				s.writeJobError(w, err) // drain / client gone, not a bad checkpoint
+			if errors.Is(err, errQueueFull) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				s.writeJobError(w, r, err) // shed / drain / client gone, not a bad checkpoint
 			} else {
 				s.writeJSONError(w, http.StatusBadRequest, err.Error())
 			}
@@ -388,6 +401,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		opts.Battery = req.Battery
 		opts.DeterministicRuntime = req.DeterministicRuntime == nil || *req.DeterministicRuntime
 		opts.KeepTicks = req.Ticks
+		opts.PhaseSampleEvery = s.cfg.PhaseSampleEvery
 		sess, err = sim.NewSession(sys, ctrl, opts)
 		if err != nil {
 			s.writeJSONError(w, http.StatusBadRequest, err.Error())
@@ -403,7 +417,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	now := time.Now()
 	e := &twinSession{id: id, scheme: scheme, modules: modules, created: now, sess: sess}
 	evicted, ok := s.sessions.add(e, now)
-	s.met.sessionsEvicted.Add(int64(evicted))
+	s.noteEvicted(evicted)
 	if !ok {
 		s.writeJSONError(w, http.StatusServiceUnavailable,
 			fmt.Sprintf("session registry full (%d open), retry later or delete one", s.cfg.MaxSessions))
@@ -413,6 +427,9 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	if restored {
 		s.met.sessionsRestored.Add(1)
 	}
+	s.log.Info("session created",
+		"session_id", id, "scheme", scheme, "modules", modules, "restored", restored,
+		"request_id", obs.RequestID(r.Context()))
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusCreated)
 	json.NewEncoder(w).Encode(map[string]any{"session": e.summary(now)})
@@ -421,7 +438,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
 	now := time.Now()
 	entries, _, evicted := s.sessions.list(now)
-	s.met.sessionsEvicted.Add(int64(evicted))
+	s.noteEvicted(evicted)
 	out := struct {
 		Sessions []sessionSummary `json:"sessions"`
 	}{Sessions: make([]sessionSummary, 0, len(entries))}
@@ -443,10 +460,12 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.sessions.remove(r.PathValue("id")) {
+	id := r.PathValue("id")
+	if !s.sessions.remove(id) {
 		s.writeJSONError(w, http.StatusNotFound, "no such session")
 		return
 	}
+	s.log.Info("session deleted", "session_id", id, "request_id", obs.RequestID(r.Context()))
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -608,7 +627,7 @@ func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.jobContext(r.Context())
 	defer cancel()
 	if err := s.q.acquire(ctx); err != nil {
-		s.writeJobError(w, err)
+		s.writeJobError(w, r, err)
 		return
 	}
 	defer s.q.release()
@@ -625,6 +644,7 @@ func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
 	// moves the clock between them and the source segment replays
 	// overlapped.
 	e.mu.Lock()
+	phasesBefore := e.sess.PhaseTimings()
 	conds, herr := src.sample(e.sess.Now(), e.sess.TickSeconds())
 	if herr != nil {
 		e.mu.Unlock()
@@ -634,7 +654,7 @@ func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
 	for i, c := range conds {
 		if err := ctx.Err(); err != nil {
 			e.mu.Unlock()
-			s.writeJobError(w, err)
+			s.writeJobError(w, r, err)
 			return
 		}
 		tick, err := e.sess.Step(c)
@@ -658,7 +678,12 @@ func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	phasesAfter := e.sess.PhaseTimings()
 	e.mu.Unlock()
+	// Fold this batch's sampled phase timings into the service aggregate
+	// — the delta, because the session accumulator is cumulative and a
+	// long-lived twin is stepped through many requests.
+	s.phases.add(phaseDelta(phasesBefore, phasesAfter))
 	s.met.observeJob(time.Since(started))
 	summary := e.summary(time.Now())
 

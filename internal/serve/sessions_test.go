@@ -425,17 +425,19 @@ func TestSessionConcurrentStepAndMarshal(t *testing.T) {
 }
 
 // TestRetryAfterDerivation pins the 503 Retry-After contract under a
-// saturated queue: the advice is queue depth × observed mean job time
-// clamped to [1, 30] — not the old hardcoded 1 s.
+// saturated queue: the advice is queue depth × p90 job time from the
+// latency histogram, clamped to [1, 30] — not the old hardcoded 1 s.
 func TestRetryAfterDerivation(t *testing.T) {
 	srv, ts := newTestServer(t, Config{MaxConcurrent: 1, MaxQueued: -1, MaxSessions: 4})
 
-	// Teach the server a 2 s mean job time and fake a 10-deep queue:
-	// the derivation should advise ceil(10 × 2) = 20 s.
+	// Teach the server a single 2 s job and fake a 10-deep queue. The
+	// observation lands in the (1, 2.5] histogram bucket, where the p90
+	// interpolates to 1 + 0.9×1.5 = 2.35 s, so the derivation should
+	// advise ceil(10 × 2.35) = 24 s.
 	srv.met.observeJob(2 * time.Second)
 	srv.q.waiting.Add(10)
-	if got := srv.retryAfterSeconds(); got != 20 {
-		t.Fatalf("retryAfterSeconds() = %d, want 20", got)
+	if got := srv.retryAfterSeconds(); got != 24 {
+		t.Fatalf("retryAfterSeconds() = %d, want 24", got)
 	}
 	// Clamps: a huge backlog caps at 30 s, an empty queue floors at 1 s.
 	srv.q.waiting.Add(100)
@@ -449,7 +451,7 @@ func TestRetryAfterDerivation(t *testing.T) {
 
 	// End to end: saturate the single execution slot so a step request
 	// is shed, and check the header carries the derived value.
-	srv.q.waiting.Add(5) // 5 waiters × 2 s mean → 10 s advice
+	srv.q.waiting.Add(5) // 5 waiters × 2.35 s p90 → 12 s advice
 	if err := srv.q.acquire(t.Context()); err != nil {
 		t.Fatal(err)
 	}
@@ -466,7 +468,7 @@ func TestRetryAfterDerivation(t *testing.T) {
 	}
 	// The live header sees depth 5 (+ this request's own brief wait):
 	// anything in [10, 30] proves the derivation ran; exactly 1 with a
-	// 2 s mean and 5 waiters would be the old hardcoded bug.
+	// 2.35 s p90 and 5 waiters would be the old hardcoded bug.
 	if ra < 10 || ra > 30 {
 		t.Fatalf("Retry-After = %d, want the derived 10..30", ra)
 	}

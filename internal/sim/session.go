@@ -48,6 +48,7 @@ type Session struct {
 	effSum       float64
 	effN         int
 	steps        int
+	phases       PhaseTimings // sampled per-phase wall clock (see phases.go)
 }
 
 // NewSession validates the rig and builds a session at its power-on
@@ -158,10 +159,18 @@ func (s *Session) Step(cond thermal.Conditions) (Tick, error) {
 // row. The fleet engine replaces this phase with one shared solve per
 // distinct (radiator, conditions) pair.
 func (s *Session) tickTemps(cond thermal.Conditions) error {
+	timed := s.phaseTimed()
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	var err error
 	s.sc.temps, err = s.sys.Radiator.ModuleTempsInto(s.sc.temps, cond, s.sys.Modules)
 	if err != nil {
 		return fmt.Errorf("sim: t=%g: %w", s.Now(), err)
+	}
+	if timed {
+		s.phases.TempsNs += time.Since(t0).Nanoseconds()
 	}
 	return nil
 }
@@ -170,6 +179,11 @@ func (s *Session) tickTemps(cond thermal.Conditions) error {
 // session clock and build the controller's noisy view of the module
 // temperatures, masking dead modules to ambient.
 func (s *Session) tickSense(cond thermal.Conditions) error {
+	timed := s.phaseTimed()
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	sc := s.sc
 	sc.health = nil
 	if s.faultTracker != nil {
@@ -196,6 +210,9 @@ func (s *Session) tickSense(cond thermal.Conditions) error {
 			sc.sensed[i] = cond.AirInletC
 		}
 	}
+	if timed {
+		s.phases.SenseNs += time.Since(t0).Nanoseconds()
+	}
 	return nil
 }
 
@@ -203,10 +220,18 @@ func (s *Session) tickSense(cond thermal.Conditions) error {
 // period's topology. The decision (whose Config aliases controller
 // storage until the next Decide) is parked on the scratch for tickAct.
 func (s *Session) tickDecide(cond thermal.Conditions) error {
+	timed := s.phaseTimed()
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	var err error
 	s.sc.dec, err = s.ctrl.Decide(s.steps, s.sc.sensed, cond.AirInletC)
 	if err != nil {
 		return fmt.Errorf("sim: %s at t=%g: %w", s.ctrl.Name(), s.Now(), err)
+	}
+	if timed {
+		s.phases.DecideNs += time.Since(t0).Nanoseconds()
 	}
 	return nil
 }
@@ -216,6 +241,11 @@ func (s *Session) tickDecide(cond thermal.Conditions) error {
 // the switching overhead, and commit the period into the Result
 // accumulators and the session clock.
 func (s *Session) tickAct(cond thermal.Conditions) (Tick, error) {
+	timed := s.phaseTimed()
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	now := s.Now()
 	sc := s.sc
 	dec, health := sc.dec, sc.health
@@ -358,6 +388,10 @@ func (s *Session) tickAct(cond thermal.Conditions) (Tick, error) {
 	// dec.Config (core.Decision's aliasing contract).
 	s.prev = sc.setPrev(dec.Config)
 	s.havePrev = true
+	if timed {
+		s.phases.ActNs += time.Since(t0).Nanoseconds()
+		s.phases.Samples++
+	}
 	s.steps++
 
 	if s.opts.OnTick != nil {
@@ -384,6 +418,7 @@ func (s *Session) Result() *Result {
 	if s.bat != nil {
 		s.res.BatteryJ = s.bat.AbsorbedJoules()
 	}
+	s.res.Phases = s.phases
 	return s.res
 }
 
@@ -432,6 +467,9 @@ func (o Options) Validate() error {
 	}
 	if o.ChargeProfile != nil && !o.Battery {
 		return fmt.Errorf("sim: charge profile requires the battery")
+	}
+	if o.PhaseSampleEvery < 0 {
+		return fmt.Errorf("sim: negative phase sample interval %d", o.PhaseSampleEvery)
 	}
 	return nil
 }

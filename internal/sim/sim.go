@@ -128,6 +128,14 @@ type Options struct {
 	// to stop paying O(duration) memory per run. A zero-valued Options
 	// literal must opt back in explicitly.
 	KeepTicks bool
+	// PhaseSampleEvery, when positive, wall-clock-times the four tick
+	// phases (temps/sense/decide/act) on every N-th control period and
+	// accumulates the samples into Result.Phases. 0 (the default)
+	// disables timing entirely and keeps Step on its zero-allocation
+	// path. The timings are observability only: they never enter
+	// serialized payloads or checkpoints, so two runs differing only in
+	// this knob produce bit-identical physics.
+	PhaseSampleEvery int
 }
 
 // DefaultOptions returns the experimental settings.
@@ -162,7 +170,11 @@ type Result struct {
 	IdealEnergyJ  float64
 	AvgTEGEff     float64 // mean conversion efficiency over producing ticks
 	BatteryJ      float64 // energy stored in the battery (if enabled)
-	Ticks         []Tick
+	// Phases holds sampled per-phase wall-clock timings when
+	// Options.PhaseSampleEvery is set (zero value otherwise). Excluded
+	// from serialized payloads and checkpoints — see report.MarshalResult.
+	Phases PhaseTimings
+	Ticks  []Tick
 }
 
 // Clone returns a deep copy of the result: the tick buffer (the only

@@ -19,13 +19,14 @@ trap cleanup EXIT
 
 # boot <logfile> — start tegserve on a random port and set the $pid
 # and $base globals once the listen line appears. Called directly (not
-# in a command substitution) so the globals survive.
+# in a command substitution) so the globals survive. JSON logs so the
+# access-log assertions can grep structured fields.
 boot() {
-  "$workdir/tegserve" -addr 127.0.0.1:0 >"$1" 2>&1 &
+  "$workdir/tegserve" -addr 127.0.0.1:0 -log-format json >"$1" 2>&1 &
   pid=$!
   local addr=""
   for _ in $(seq 1 100); do
-    addr=$(sed -n 's#.*listening on http://##p' "$1" | head -n1)
+    addr=$(sed -n 's/.*"msg":"listening".*"addr":"\([^"]*\)".*/\1/p' "$1" | head -n1)
     [ -n "$addr" ] && break
     kill -0 "$pid" 2>/dev/null || { echo "tegserve died:" >&2; cat "$1" >&2; exit 1; }
     sleep 0.1
@@ -73,6 +74,17 @@ echo "== metrics"
 metrics=$(curl -fsS "$base/metrics")
 echo "$metrics" | grep '^tegserve_ticks_total ' || { echo "no tick counter"; exit 1; }
 echo "$metrics" | grep '^tegserve_cache_hits_total 1$' >/dev/null || { echo "cache hit not counted"; exit 1; }
+
+echo "== request-ID correlation: header echo + access log"
+rid=$(curl -fsS -D - -o /dev/null -H 'X-Request-ID: test-123' "$base/healthz" \
+  | tr -d '\r' | sed -n 's/^X-Request-Id: //Ip')
+[ "$rid" = "test-123" ] || { echo "X-Request-ID echoed as '$rid', want test-123"; exit 1; }
+grep -q '"request_id":"test-123"' "$workdir/serve.log" \
+  || { echo "access log missing request_id test-123"; grep '"msg":"request"' "$workdir/serve.log" | tail -3; exit 1; }
+echo "   test-123 on the response header and in the JSON access log"
+
+echo "== phase timings"
+curl -fsS "$base/v1/debug/phases" | grep -q '"sample_every"' || { echo "/v1/debug/phases missing sample_every"; exit 1; }
 
 echo "== digital twin: create -> step -> checkpoint"
 twin=$(curl -fsS -H 'Content-Type: application/json' \
