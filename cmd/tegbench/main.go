@@ -58,6 +58,12 @@
 //	                    the same matrix run end to end on the batch
 //	                    engine, all cores (aggregate ticks/sec): the
 //	                    scenario-matrix serving cost
+//	sweep_sharded_throughput
+//	                    a cycle sweep sharded by a coordinator across
+//	                    two in-process worker servers over the
+//	                    /v1/shards protocol and merged bit-exactly
+//	                    (aggregate worker ticks/sec over coordinator
+//	                    wall clock): the distributed tier's overhead
 //
 // JSON schema (schema_version 1):
 //
@@ -92,6 +98,7 @@
 //	  "session_step_max_bytes_per_op":     64,
 //	  "session_step_max_ns_per_op":        0,    // 0 = not enforced
 //	  "sweep_throughput_min_ticks_per_sec": 1100, // 0 = not enforced
+//	  "sweep_sharded_throughput_min_ticks_per_sec": 500, // 0 = not enforced
 //	  "matrix_expand_min_cells_per_sec":    500,  // 0 = not enforced
 //	  "session_step_instrumented_max_overhead_frac": 0.15 // vs session_step; 0 = not enforced
 //	}
@@ -163,6 +170,7 @@ type Budget struct {
 	SweepThroughputMinTicksPerSec float64 `json:"sweep_throughput_min_ticks_per_sec"`
 	TwinSessionsMinTicksPerSec    float64 `json:"twin_sessions_min_ticks_per_sec"`
 	MatrixExpandMinCellsPerSec    float64 `json:"matrix_expand_min_cells_per_sec"`
+	SweepShardedMinTicksPerSec    float64 `json:"sweep_sharded_throughput_min_ticks_per_sec"`
 
 	// InstrumentedMaxOverheadFrac caps the phase-timing observability
 	// tax: session_step_instrumented's ns/op may exceed session_step's
@@ -227,6 +235,7 @@ func main() {
 		{"twin_sessions_concurrent", func() (Result, error) { return benchTwinSessions(*quick) }},
 		{"matrix_expand", benchMatrixExpand},
 		{"matrix_sweep_throughput", func() (Result, error) { return benchMatrixSweep(*quick) }},
+		{"sweep_sharded_throughput", func() (Result, error) { return benchSweepSharded(*quick) }},
 	}
 	for _, s := range suites {
 		log.Printf("running %s ...", s.name)
@@ -352,6 +361,21 @@ func enforceBudget(path string, doc Document) error {
 		if twin.TicksPerSec < b.TwinSessionsMinTicksPerSec {
 			return fmt.Errorf("twin_sessions_concurrent %.0f ticks/sec below floor %.0f",
 				twin.TicksPerSec, b.TwinSessionsMinTicksPerSec)
+		}
+	}
+	if b.SweepShardedMinTicksPerSec > 0 {
+		var sharded *Result
+		for i := range doc.Results {
+			if doc.Results[i].Name == "sweep_sharded_throughput" {
+				sharded = &doc.Results[i]
+			}
+		}
+		if sharded == nil {
+			return fmt.Errorf("no sweep_sharded_throughput result to enforce against")
+		}
+		if sharded.TicksPerSec < b.SweepShardedMinTicksPerSec {
+			return fmt.Errorf("sweep_sharded_throughput %.0f ticks/sec below floor %.0f",
+				sharded.TicksPerSec, b.SweepShardedMinTicksPerSec)
 		}
 	}
 	if b.MatrixExpandMinCellsPerSec > 0 {
@@ -839,6 +863,68 @@ func benchMatrixSweep(quick bool) (Result, error) {
 	r := Result{Iterations: 1, NsPerOp: float64(elapsed.Nanoseconds())}
 	if secs := elapsed.Seconds(); secs > 0 {
 		r.TicksPerSec = float64(ticks.Load()) / secs
+	}
+	return r, nil
+}
+
+// benchSweepSharded measures the distributed sweep tier end to end: a
+// coordinator tegserve sharding one cycle sweep across two in-process
+// worker servers over HTTP (internal/serve's /v1/shards protocol) and
+// merging their tables. ticks_per_sec aggregates the workers' simulated
+// control periods over the coordinator's wall clock, so the number
+// carries the full dispatch + merge + transport overhead.
+func benchSweepSharded(quick bool) (Result, error) {
+	maxDuration := 60.0
+	if quick {
+		maxDuration = 20.0
+	}
+	workers := make([]*serve.Server, 2)
+	peers := make([]string, len(workers))
+	for i := range workers {
+		workers[i] = serve.New(serve.Config{})
+		ts := httptest.NewServer(workers[i].Handler())
+		defer ts.Close()
+		peers[i] = ts.URL
+	}
+	coord := serve.New(serve.Config{WorkerPeers: peers})
+	ts := httptest.NewServer(coord.Handler())
+	defer ts.Close()
+
+	body := fmt.Sprintf(`{"cycles":["wltc","delivery","nedc"],"schemes":["inor","dnor"],"max_duration_s":%g,"modules":20}`, maxDuration)
+	start := time.Now()
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(body))
+	if err != nil {
+		return Result{}, err
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return Result{}, err
+	}
+	resp.Body.Close()
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		return Result{}, fmt.Errorf("status %d", resp.StatusCode)
+	}
+
+	cs := coord.Stats()
+	if cs.ShardsDispatched < 2 {
+		return Result{}, fmt.Errorf("coordinator dispatched %d shards, want >= 2", cs.ShardsDispatched)
+	}
+	if cs.ShardRetries != 0 {
+		return Result{}, fmt.Errorf("%d shards fell back to local compute in a healthy fleet", cs.ShardRetries)
+	}
+	if cs.Ticks != 0 {
+		return Result{}, fmt.Errorf("coordinator simulated %d ticks itself", cs.Ticks)
+	}
+	var ticks int64
+	for _, w := range workers {
+		ticks += w.Stats().Ticks
+	}
+	if ticks == 0 {
+		return Result{}, fmt.Errorf("workers simulated nothing")
+	}
+	r := Result{Iterations: 1, NsPerOp: float64(elapsed.Nanoseconds())}
+	if secs := elapsed.Seconds(); secs > 0 {
+		r.TicksPerSec = float64(ticks) / secs
 	}
 	return r, nil
 }

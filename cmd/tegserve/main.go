@@ -10,7 +10,8 @@
 //	         [-max-sessions 64] [-session-ttl 30m]
 //	         [-max-matrix-cells 2048] [-max-matrices 32]
 //	         [-log-level info] [-log-format text] [-phase-sample 0]
-//	         [-pprof-addr ""]
+//	         [-pprof-addr ""] [-store-dir ""] [-store-max-mb 4096]
+//	         [-worker-peers ""]
 //
 // Quick look:
 //
@@ -27,6 +28,16 @@
 // -pprof-addr serves net/http/pprof on its own listener, kept off the
 // public address so profiling endpoints are never internet-facing.
 //
+// -store-dir adds a persistent content-addressed disk tier under the
+// in-memory cache: results survive restarts bit-exactly and are shared
+// (with cross-process single-flight) by every tegserve pointed at the
+// same directory. -worker-peers turns the process into a sweep/matrix
+// coordinator that shards grid cells across the listed plain-worker
+// tegserve processes over POST /v1/shards, merging their partial
+// results into the same byte-identical envelope a single process
+// produces and recomputing locally any shard whose worker dies. See
+// docs/DISTRIBUTION.md.
+//
 // SIGINT/SIGTERM drain gracefully: in-flight simulations abort within
 // one control period, streams close, and the process exits 0.
 package main
@@ -39,11 +50,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"tegrecon/internal/obs"
 	"tegrecon/internal/serve"
+	"tegrecon/internal/store"
 )
 
 func main() {
@@ -66,6 +79,9 @@ func main() {
 		logFormat    = flag.String("log-format", "text", "log encoding: text or json")
 		phaseSample  = flag.Int("phase-sample", 0, "tick-phase timing sample interval: time 1 in N control periods (0 = 16, negative = off)")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off; keep it loopback-only)")
+		storeDir     = flag.String("store-dir", "", "persistent content-addressed result store directory (empty = memory-only cache)")
+		storeMaxMB   = flag.Int64("store-max-mb", 4096, "disk store byte budget in MiB; least-recently-used payloads are evicted above it")
+		workerPeers  = flag.String("worker-peers", "", "comma-separated base URLs of worker tegserve processes to shard sweeps and matrices across (empty = compute locally)")
 	)
 	flag.Parse()
 
@@ -76,6 +92,25 @@ func main() {
 	log, err := obs.NewLogger(os.Stderr, level, *logFormat)
 	if err != nil {
 		fatal(err)
+	}
+
+	var st *store.Store
+	if *storeDir != "" {
+		st, err = store.Open(*storeDir, *storeMaxMB<<20)
+		if err != nil {
+			log.Error("store open failed", "dir", *storeDir, "err", err)
+			os.Exit(1)
+		}
+		log.Info("store opened", "dir", *storeDir, "objects", st.Len(), "bytes", st.Bytes())
+	}
+	var peers []string
+	for _, p := range strings.Split(*workerPeers, ",") {
+		if p = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(p), "/")); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	if len(peers) > 0 {
+		log.Info("coordinating shards", "peers", strings.Join(peers, ","))
 	}
 
 	// First signal starts the drain; a second one falls through to the
@@ -98,6 +133,8 @@ func main() {
 		DrainGrace:       *drainGrace,
 		Logger:           log,
 		PhaseSampleEvery: *phaseSample,
+		Store:            st,
+		WorkerPeers:      peers,
 	})
 
 	// The profiling listener is deliberately separate from the API one:

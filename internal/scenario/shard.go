@@ -1,0 +1,29 @@
+package scenario
+
+// PlanShards splits n sequential items into at most k contiguous,
+// near-equal [lo, hi) ranges — the coordinator's work division for
+// Subset-based sharding. Contiguity is what keeps merges trivial:
+// concatenating per-shard results in shard order reproduces the
+// original order. Ranges are never empty (fewer items than shards
+// yields fewer shards), sizes differ by at most one, and n <= 0 or
+// k <= 0 yields nil.
+func PlanShards(n, k int) [][2]int {
+	if n <= 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	shards := make([][2]int, 0, k)
+	size, rem := n/k, n%k
+	lo := 0
+	for i := 0; i < k; i++ {
+		hi := lo + size
+		if i < rem {
+			hi++
+		}
+		shards = append(shards, [2]int{lo, hi})
+		lo = hi
+	}
+	return shards
+}

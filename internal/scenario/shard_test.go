@@ -1,0 +1,65 @@
+package scenario
+
+import "testing"
+
+func TestPlanShards(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want [][2]int
+	}{
+		{0, 4, nil},
+		{5, 0, nil},
+		{-1, 2, nil},
+		{1, 1, [][2]int{{0, 1}}},
+		{4, 2, [][2]int{{0, 2}, {2, 4}}},
+		{5, 2, [][2]int{{0, 3}, {3, 5}}},
+		{7, 3, [][2]int{{0, 3}, {3, 5}, {5, 7}}},
+		// Fewer items than shards: no empty ranges.
+		{2, 5, [][2]int{{0, 1}, {1, 2}}},
+	}
+	for _, c := range cases {
+		got := PlanShards(c.n, c.k)
+		if len(got) != len(c.want) {
+			t.Errorf("PlanShards(%d, %d) = %v, want %v", c.n, c.k, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("PlanShards(%d, %d)[%d] = %v, want %v", c.n, c.k, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+// The invariants every (n, k) must satisfy: ranges tile [0, n)
+// contiguously and sizes differ by at most one.
+func TestPlanShardsInvariants(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		for k := 1; k <= 10; k++ {
+			shards := PlanShards(n, k)
+			lo, minSz, maxSz := 0, n+1, 0
+			for _, sh := range shards {
+				if sh[0] != lo {
+					t.Fatalf("n=%d k=%d: shard starts at %d, want %d", n, k, sh[0], lo)
+				}
+				sz := sh[1] - sh[0]
+				if sz <= 0 {
+					t.Fatalf("n=%d k=%d: empty shard %v", n, k, sh)
+				}
+				if sz < minSz {
+					minSz = sz
+				}
+				if sz > maxSz {
+					maxSz = sz
+				}
+				lo = sh[1]
+			}
+			if lo != n {
+				t.Fatalf("n=%d k=%d: shards end at %d, want %d", n, k, lo, n)
+			}
+			if maxSz-minSz > 1 {
+				t.Fatalf("n=%d k=%d: shard sizes range %d..%d", n, k, minSz, maxSz)
+			}
+		}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+
+	"tegrecon/internal/store"
 )
 
 // cache is the content-addressed result store: completed response
@@ -16,6 +18,12 @@ import (
 // a hit is byte-identical to the original response by construction —
 // under DeterministicRuntime the physics is bit-reproducible, which
 // makes serving the stored bytes equivalent to recomputing them.
+//
+// An optional disk tier (internal/store) sits behind the memory LRU:
+// gets fall through to disk before reporting a miss (promoting what
+// they find), puts write through, so payloads survive a process
+// restart and are shared by every process on the same store directory.
+// The disk tier persists even when the memory tier is disabled.
 type cache struct {
 	mu       sync.Mutex
 	max      int
@@ -24,8 +32,12 @@ type cache struct {
 	order    *list.List // front = most recently used
 	entries  map[string]*list.Element
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	disk *store.Store // optional second tier (nil → memory only)
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	diskHits  atomic.Int64 // hits answered by the disk tier
+	diskFails atomic.Int64 // write-through Put errors (disk full, perms)
 }
 
 type cacheEntry struct {
@@ -33,50 +45,101 @@ type cacheEntry struct {
 	payload []byte
 }
 
-func newCache(maxEntries int, maxBytes int64) *cache {
+func newCache(maxEntries int, maxBytes int64, disk *store.Store) *cache {
 	return &cache{
 		max:      maxEntries,
 		maxBytes: maxBytes,
 		order:    list.New(),
 		entries:  make(map[string]*list.Element, maxEntries),
+		disk:     disk,
 	}
 }
 
 // get returns the stored payload and marks the entry most recently
-// used. Callers must treat the payload as immutable.
+// used, falling through to the disk tier on a memory miss (a disk hit
+// is promoted into memory and counts as a client-visible hit — this is
+// how a cold-restarted server answers with X-Cache: hit and zero
+// recomputation). Callers must treat the payload as immutable.
 func (c *cache) get(key string) ([]byte, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
-		c.misses.Add(1)
-		return nil, false
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		payload := el.Value.(*cacheEntry).payload
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return payload, true
 	}
-	c.order.MoveToFront(el)
-	c.hits.Add(1)
-	return el.Value.(*cacheEntry).payload, true
+	c.mu.Unlock()
+	if c.disk != nil {
+		if b, ok := c.disk.Get(key); ok {
+			c.hits.Add(1)
+			c.diskHits.Add(1)
+			c.mu.Lock()
+			c.memPut(key, b)
+			c.mu.Unlock()
+			return b, true
+		}
+	}
+	c.misses.Add(1)
+	return nil, false
 }
 
-// peek is get without touching the hit/miss statistics or the LRU
-// order — the flight leader's internal race re-check, invisible to the
-// client-facing accounting.
+// peek is get without touching the hit/miss statistics or the memory
+// LRU order — the flight leader's internal race re-check and the
+// matrix cell-recall probe, invisible to the client-facing accounting.
+// A disk-tier find is returned without promotion: matrix recall peeks
+// thousands of small cells and must not churn the memory LRU.
 func (c *cache) peek(key string) ([]byte, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
-		return nil, false
+	if el, ok := c.entries[key]; ok {
+		payload := el.Value.(*cacheEntry).payload
+		c.mu.Unlock()
+		return payload, true
 	}
-	return el.Value.(*cacheEntry).payload, true
+	c.mu.Unlock()
+	if c.disk != nil {
+		return c.disk.Get(key)
+	}
+	return nil, false
 }
 
-// put stores a payload, evicting from the LRU tail while either bound
-// (entries or bytes) is exceeded. A payload larger than the whole byte
-// budget is not cached at all — storing it would just flush everything
-// else for an entry the next eviction removes anyway.
+// has reports residency in either tier without reading any payload —
+// the cell-status probe for matrix listings, where peek would pay a
+// disk read per cell just to learn a boolean.
+func (c *cache) has(key string) bool {
+	c.mu.Lock()
+	_, ok := c.entries[key]
+	c.mu.Unlock()
+	if ok {
+		return true
+	}
+	return c.disk != nil && c.disk.Has(key)
+}
+
+// put stores a payload in the memory tier and writes it through to the
+// disk tier. The tiers admit independently: an oversized or
+// memory-disabled payload can still persist to disk (and a disk-full
+// error never evicts the memory entry).
 func (c *cache) put(key string, payload []byte) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.memPut(key, payload)
+	c.mu.Unlock()
+	if c.disk != nil {
+		// Write-through outside the mutex: an fsync must never stall
+		// concurrent cache reads.
+		if err := c.disk.Put(key, payload); err != nil {
+			c.diskFails.Add(1)
+		}
+	}
+}
+
+// memPut is the memory-tier admission: store the payload, then evict
+// from the LRU tail while either bound (entries or bytes) is exceeded.
+// A payload larger than the whole byte budget is rejected outright,
+// before it can touch the LRU — admitting it would first flush every
+// resident entry and then still leave the cache over budget with an
+// entry the next eviction removes anyway. Callers hold c.mu.
+func (c *cache) memPut(key string, payload []byte) {
 	if c.max <= 0 || int64(len(payload)) > c.maxBytes {
 		return
 	}
@@ -91,6 +154,9 @@ func (c *cache) put(key string, payload []byte) {
 	}
 	for c.order.Len() > c.max || c.bytes > c.maxBytes {
 		tail := c.order.Back()
+		if tail == nil {
+			break
+		}
 		e := tail.Value.(*cacheEntry)
 		c.order.Remove(tail)
 		delete(c.entries, e.key)

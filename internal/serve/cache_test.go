@@ -13,7 +13,7 @@ import (
 )
 
 func TestCacheLRUEviction(t *testing.T) {
-	c := newCache(2, 1<<20)
+	c := newCache(2, 1<<20, nil)
 	c.put("a", []byte("A"))
 	c.put("b", []byte("B"))
 	if _, ok := c.get("a"); !ok { // touch a → b becomes LRU
@@ -43,7 +43,7 @@ func TestCacheLRUEviction(t *testing.T) {
 }
 
 func TestCacheCounters(t *testing.T) {
-	c := newCache(4, 1<<20)
+	c := newCache(4, 1<<20, nil)
 	c.get("nope")
 	c.put("k", []byte("v"))
 	c.get("k")
@@ -57,7 +57,7 @@ func TestCacheCounters(t *testing.T) {
 // well as entries: big payloads evict from the tail, and a payload
 // over the whole budget is never stored.
 func TestCacheByteBudget(t *testing.T) {
-	c := newCache(100, 10) // 100 entries but only 10 bytes
+	c := newCache(100, 10, nil) // 100 entries but only 10 bytes
 	c.put("a", []byte("aaaa"))
 	c.put("b", []byte("bbbb"))
 	if c.size() != 8 {
@@ -86,7 +86,7 @@ func TestCacheByteBudget(t *testing.T) {
 }
 
 func TestCacheDisabled(t *testing.T) {
-	c := newCache(0, 1<<20)
+	c := newCache(0, 1<<20, nil)
 	c.put("k", []byte("v"))
 	if _, ok := c.get("k"); ok {
 		t.Fatal("disabled cache stored an entry")
@@ -391,4 +391,91 @@ func ExampleDecodeEvents() {
 	// Output:
 	// tick: {"t":0}
 	// summary: done
+}
+
+// TestCachePutOversizedRejected pins the oversize admission rule: a
+// payload larger than the whole byte budget must be refused before it
+// touches the LRU — the failure mode being pinned is an oversized put
+// first evicting every resident entry and then landing anyway, leaving
+// the cache both empty of useful results and over budget.
+func TestCachePutOversizedRejected(t *testing.T) {
+	c := newCache(100, 10, nil)
+	c.put("a", []byte("aaa"))
+	c.put("b", []byte("bbb"))
+	c.put("huge", bytes.Repeat([]byte("x"), 11))
+	if _, ok := c.peek("huge"); ok {
+		t.Fatal("payload over the whole byte budget was admitted")
+	}
+	if c.len() != 2 || c.size() != 6 {
+		t.Fatalf("oversized put disturbed residents: len=%d size=%d, want 2/6", c.len(), c.size())
+	}
+	for _, key := range []string{"a", "b"} {
+		if _, ok := c.peek(key); !ok {
+			t.Fatalf("resident %q was evicted by a rejected oversized put", key)
+		}
+	}
+	// Exactly at the budget is admissible (and evicts both residents).
+	c.put("fit", bytes.Repeat([]byte("y"), 10))
+	if _, ok := c.peek("fit"); !ok {
+		t.Fatal("payload exactly at the byte budget was refused")
+	}
+	if c.size() != 10 {
+		t.Fatalf("size = %d after at-budget put, want 10", c.size())
+	}
+}
+
+// TestCacheDiskTier proves the two-tier contract: puts write through
+// to the disk store, a fresh cache on the same store answers from disk
+// (promoting into memory and counting a client-visible hit), and peek
+// and has see the disk tier without promotion.
+func TestCacheDiskTier(t *testing.T) {
+	st := openTestStore(t)
+	key := testCellHash("payload")
+	c1 := newCache(4, 1<<20, st)
+	c1.put(key, []byte("persisted"))
+
+	// A second cache on the same store models a restarted process:
+	// empty memory, warm disk.
+	c2 := newCache(4, 1<<20, st)
+	got, ok := c2.get(key)
+	if !ok || string(got) != "persisted" {
+		t.Fatalf("get after restart = %q, %v", got, ok)
+	}
+	if h, d := c2.hits.Load(), c2.diskHits.Load(); h != 1 || d != 1 {
+		t.Fatalf("hits=%d diskHits=%d, want 1/1", h, d)
+	}
+	// The disk hit was promoted: a repeat get answers from memory.
+	if _, ok := c2.get(key); !ok {
+		t.Fatal("promoted entry missing from memory")
+	}
+	if d := c2.diskHits.Load(); d != 1 {
+		t.Fatalf("diskHits = %d after a memory hit, want still 1", d)
+	}
+
+	c3 := newCache(4, 1<<20, st)
+	if !c3.has(key) {
+		t.Fatal("has missed the disk tier")
+	}
+	if b, ok := c3.peek(key); !ok || string(b) != "persisted" {
+		t.Fatalf("peek missed the disk tier: %q, %v", b, ok)
+	}
+	if h, m := c3.hits.Load(), c3.misses.Load(); h != 0 || m != 0 {
+		t.Fatalf("peek/has touched client-facing stats: hits=%d misses=%d", h, m)
+	}
+}
+
+// TestCacheDisabledMemoryStillPersists: with the memory tier disabled
+// the disk tier keeps working — the configuration a thin coordinator
+// in front of a shared store would run.
+func TestCacheDisabledMemoryStillPersists(t *testing.T) {
+	st := openTestStore(t)
+	c := newCache(0, 1<<20, st)
+	key := testCellHash("no-memory")
+	c.put(key, []byte("v"))
+	if c.len() != 0 {
+		t.Fatal("disabled memory tier stored an entry")
+	}
+	if got, ok := c.get(key); !ok || string(got) != "v" {
+		t.Fatalf("disk tier did not serve with memory disabled: %q, %v", got, ok)
+	}
 }

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"tegrecon/internal/store"
 )
 
 // TestEndToEnd is the PR's acceptance test, driven over a real TCP
@@ -181,4 +183,103 @@ func BenchmarkCachedRunRequest(b *testing.B) {
 			b.Fatal("miss")
 		}
 	}
+}
+
+// TestColdRestartServesFromStore is the persistence round trip: a
+// server with a disk store computes a sweep and a matrix, drains
+// (SIGTERM-equivalent), and a brand-new process opening the same
+// -store-dir serves both byte-identically as cache hits with zero
+// recomputation. A superset matrix then proves resumable grids: only
+// the genuinely new cells are simulated after restart.
+func TestColdRestartServesFromStore(t *testing.T) {
+	dir := t.TempDir()
+	sweep := `{"cycles":["delivery","nedc"],"schemes":["inor"],"max_duration_s":6,"modules":20}`
+	matrixA := `{"cycles":[{"synth":{"profile":"urban","seed":9,"duration_s":6}}],
+		"schemes":["INOR"],"ambients":[{"ambient_c":15},{"ambient_c":25}],
+		"array_sizes":[20],"max_duration_s":6}`
+	matrixB := `{"cycles":[{"synth":{"profile":"urban","seed":9,"duration_s":6}}],
+		"schemes":["INOR"],"ambients":[{"ambient_c":15},{"ambient_c":25},{"ambient_c":35}],
+		"array_sizes":[20],"max_duration_s":6}`
+
+	boot := func() (*Server, string, func()) {
+		st, err := store.Open(dir, 1<<30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := New(Config{Store: st})
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- s.Serve(ctx, l, 10*time.Second) }()
+		return s, "http://" + l.Addr().String(), func() {
+			cancel()
+			if err := <-done; err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+		}
+	}
+	post := func(base, path, body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: %d: %s", path, resp.StatusCode, b)
+		}
+		return resp, b
+	}
+
+	// Life 1: compute, persist, drain.
+	s1, base1, stop1 := boot()
+	_, sweepBytes := post(base1, "/v1/sweeps", sweep)
+	_, matrixABytes := post(base1, "/v1/matrix", matrixA)
+	if st := s1.Stats(); st.Computations == 0 || st.MatrixCells != 2 {
+		t.Fatalf("life 1 stats: %+v", st)
+	}
+	stop1()
+
+	// Life 2: a cold process on the same directory serves both from
+	// disk — byte-identical, client-visible hits, zero simulation.
+	s2, base2, stop2 := boot()
+	resp, b := post(base2, "/v1/sweeps", sweep)
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("sweep after restart X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(b, sweepBytes) {
+		t.Fatal("sweep bytes changed across restart")
+	}
+	resp, b = post(base2, "/v1/matrix", matrixA)
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("matrix after restart X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(b, matrixABytes) {
+		t.Fatal("matrix bytes changed across restart")
+	}
+	st := s2.Stats()
+	if st.Computations != 0 || st.Ticks != 0 || st.MatrixCells != 0 {
+		t.Fatalf("restarted server recomputed: %+v", st)
+	}
+	if st.DiskHits == 0 {
+		t.Fatal("no disk-tier hits recorded after restart")
+	}
+
+	// Resumable grid: the superset matrix recalls A's cells from disk
+	// and simulates only the new ambient column.
+	resp, _ = post(base2, "/v1/matrix", matrixB)
+	if got := resp.Header.Get("X-Matrix-Cells-Cached"); got != "2" {
+		t.Fatalf("superset X-Matrix-Cells-Cached = %q, want 2", got)
+	}
+	if st := s2.Stats(); st.MatrixCells != 1 {
+		t.Fatalf("superset simulated %d cells, want exactly the new one", st.MatrixCells)
+	}
+	stop2()
 }

@@ -194,9 +194,12 @@ func (s *Server) expandMatrix(p matrixParams, key string) (*scenario.Expansion, 
 // computeMatrix fills cells from the per-cell cache and simulates only
 // the missing ones, caching each fresh cell on the way out. onCell,
 // when non-nil, observes every cell in stable order (cached ones
-// first, then fresh ones as they complete). Returns the full cell
-// list and how many came from cache.
-func (s *Server) computeMatrix(ctx context.Context, ex *scenario.Expansion, keys []string, onCell func(experiments.MatrixCell) error) ([]experiments.MatrixCell, int, error) {
+// first, then fresh ones as they complete). distribute allows the
+// missing cells to fan out to the worker peers (non-streaming
+// client-facing requests only — shard requests and SSE streams always
+// compute locally). Returns the full cell list and how many came from
+// cache.
+func (s *Server) computeMatrix(ctx context.Context, ex *scenario.Expansion, keys []string, onCell func(experiments.MatrixCell) error, distribute bool) ([]experiments.MatrixCell, int, error) {
 	cells := make([]experiments.MatrixCell, len(ex.Cells))
 	var missing []int
 	cached := 0
@@ -220,14 +223,6 @@ func (s *Server) computeMatrix(ctx context.Context, ex *scenario.Expansion, keys
 	if len(missing) == 0 {
 		return cells, cached, nil
 	}
-	sub, err := ex.Subset(missing)
-	if err != nil {
-		return nil, cached, err
-	}
-	opts := experiments.MatrixOptions{
-		Workers: s.cfg.Workers,
-		OnTick:  s.matrixTicksObserver(),
-	}
 	finish := func(k int, c experiments.MatrixCell) error {
 		i := missing[k]
 		cells[i] = c
@@ -239,6 +234,30 @@ func (s *Server) computeMatrix(ctx context.Context, ex *scenario.Expansion, keys
 			return onCell(c)
 		}
 		return nil
+	}
+	if distribute && onCell == nil && len(s.cfg.WorkerPeers) > 0 {
+		// Coordinator mode: the missing cells fan out to the peers in
+		// contiguous index shards; caching and merging happen through
+		// the same finish path a local run uses, so the resulting
+		// envelope is byte-identical either way.
+		got, err := s.distributeMatrixCells(ctx, ex, missing)
+		if err != nil {
+			return nil, cached, err
+		}
+		for k, c := range got {
+			if err := finish(k, c); err != nil {
+				return nil, cached, err
+			}
+		}
+		return cells, cached, nil
+	}
+	sub, err := ex.Subset(missing)
+	if err != nil {
+		return nil, cached, err
+	}
+	opts := experiments.MatrixOptions{
+		Workers: s.cfg.Workers,
+		OnTick:  s.matrixTicksObserver(),
 	}
 	if onCell != nil {
 		// Streaming: cell-by-cell batches for per-cell progress. The
@@ -272,8 +291,9 @@ func (s *Server) computeMatrix(ctx context.Context, ex *scenario.Expansion, keys
 }
 
 // matrixPayload claims a queue slot, computes (or recalls) every cell
-// and encodes the envelope.
-func (s *Server) matrixPayload(ctx context.Context, p matrixParams, ex *scenario.Expansion, keys []string) ([]byte, int, error) {
+// and encodes the envelope. distribute fans missing cells out to the
+// worker peers when the server is a coordinator.
+func (s *Server) matrixPayload(ctx context.Context, p matrixParams, ex *scenario.Expansion, keys []string, distribute bool) ([]byte, int, error) {
 	if err := s.q.acquire(ctx); err != nil {
 		return nil, 0, err
 	}
@@ -281,7 +301,7 @@ func (s *Server) matrixPayload(ctx context.Context, p matrixParams, ex *scenario
 	s.met.computations.Add(1)
 	started := time.Now()
 	defer func() { s.met.observeJob(time.Since(started)) }()
-	cells, cached, err := s.computeMatrix(ctx, ex, keys, nil)
+	cells, cached, err := s.computeMatrix(ctx, ex, keys, nil, distribute)
 	if err != nil {
 		return nil, cached, err
 	}
@@ -342,8 +362,11 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 		}
 		ctx, cancel := s.detachedJobContext()
 		defer cancel()
-		b, cached, err := s.matrixPayload(ctx, p, ex, keys)
-		cachedCells = cached
+		b, err := s.computeShared(ctx, key, func() ([]byte, error) {
+			b, cached, err := s.matrixPayload(ctx, p, ex, keys, true)
+			cachedCells = cached
+			return b, err
+		})
 		if err == nil {
 			s.cache.put(key, b)
 		}
@@ -401,6 +424,7 @@ func (s *Server) streamMatrix(w http.ResponseWriter, r *http.Request, p matrixPa
 		return
 	}
 	cells, _, err := s.computeMatrix(ctx, ex, keys, func(c experiments.MatrixCell) error {
+		// (streams compute locally: events must flow as cells finish)
 		b, merr := json.Marshal(c)
 		if merr != nil {
 			return merr
@@ -411,7 +435,7 @@ func (s *Server) streamMatrix(w http.ResponseWriter, r *http.Request, p matrixPa
 			return merr
 		}
 		return nil
-	})
+	}, false)
 	if err != nil {
 		msg, _ := json.Marshal(map[string]string{"error": err.Error()})
 		ew.event("error", msg)
@@ -442,7 +466,9 @@ type matrixSummary struct {
 func (s *Server) matrixSummaryOf(e *matrixEntry, now time.Time) matrixSummary {
 	cached := 0
 	for _, c := range e.cells {
-		if _, ok := s.cache.peek(c.key); ok {
+		// has, not peek: a disk-tier probe per cell must not read the
+		// payloads just to report residency.
+		if s.cache.has(c.key) {
 			cached++
 		}
 	}
@@ -487,8 +513,7 @@ func (s *Server) handleMatrixGet(w http.ResponseWriter, r *http.Request) {
 		Cells  []cellStatus  `json:"cells"`
 	}{Matrix: s.matrixSummaryOf(e, now), Cells: make([]cellStatus, 0, len(e.cells))}
 	for i, c := range e.cells {
-		_, cached := s.cache.peek(c.key)
-		out.Cells = append(out.Cells, cellStatus{Index: i, Coord: c.coord, Key: c.key, Cached: cached})
+		out.Cells = append(out.Cells, cellStatus{Index: i, Coord: c.coord, Key: c.key, Cached: s.cache.has(c.key)})
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out)

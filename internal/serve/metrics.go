@@ -38,6 +38,9 @@ type metrics struct {
 	sessionsEvicted  atomic.Int64 // twin sessions evicted past the idle TTL
 	sessionSteps     atomic.Int64 // control periods applied through /v1/sessions/{id}/step
 	checkpoints      atomic.Int64 // checkpoint payloads served
+	shardsDispatched atomic.Int64 // shards posted to worker peers (coordinator)
+	shardRetries     atomic.Int64 // failed shards recomputed locally (coordinator)
+	shardsServed     atomic.Int64 // POST /v1/shards accepted (worker)
 
 	// Latency distributions. The counters above say how much; these say
 	// how long — per-route request latency, job execution time (the p90
@@ -110,6 +113,15 @@ type Stats struct {
 	TicksPerSecond float64 // lifetime mean simulated ticks per wall-clock second
 	CacheHitRatio  float64 // lifetime hit ratio, 0 when no lookups yet
 
+	DiskHits         int64 // cache hits answered by the disk tier
+	ShardsDispatched int64 // shards posted to worker peers (coordinator mode)
+	ShardRetries     int64 // failed shards recomputed locally
+	ShardsServed     int64 // shard requests accepted from a coordinator
+	StoreObjects     int64 // payloads resident in the disk store (0 when no store)
+	StoreBytes       int64 // resident disk-store payload bytes
+	StorePuts        int64 // payloads written to the disk store
+	StoreEvictions   int64 // disk-store objects evicted past the byte budget
+
 	TwinSessions     int   // twin sessions currently open
 	SessionsCreated  int64 // twin sessions opened (fresh and restored)
 	SessionsRestored int64 // twin sessions opened from a checkpoint
@@ -144,6 +156,11 @@ func (s *Server) Stats() Stats {
 		CacheBytes:     s.cache.size(),
 		Ticks:          s.met.ticks.Load(),
 
+		DiskHits:         s.cache.diskHits.Load(),
+		ShardsDispatched: s.met.shardsDispatched.Load(),
+		ShardRetries:     s.met.shardRetries.Load(),
+		ShardsServed:     s.met.shardsServed.Load(),
+
 		TwinSessions:     s.sessions.len(),
 		SessionsCreated:  s.met.sessionsCreated.Load(),
 		SessionsRestored: s.met.sessionsRestored.Load(),
@@ -152,6 +169,13 @@ func (s *Server) Stats() Stats {
 		Checkpoints:      s.met.checkpoints.Load(),
 
 		Phases: s.phases.snapshot(),
+	}
+	if s.cfg.Store != nil {
+		ss := s.cfg.Store.Snapshot()
+		st.StoreObjects = ss.Objects
+		st.StoreBytes = ss.Bytes
+		st.StorePuts = ss.Puts
+		st.StoreEvictions = ss.Evictions
 	}
 	if hits+misses > 0 {
 		st.CacheHitRatio = float64(hits) / float64(hits+misses)
@@ -191,6 +215,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"tegserve_cache_entries", "Results currently cached.", "gauge", st.CacheEntries},
 		{"tegserve_cache_bytes", "Resident bytes of cached result payloads.", "gauge", st.CacheBytes},
 		{"tegserve_cache_hit_ratio", "Lifetime cache hit ratio.", "gauge", st.CacheHitRatio},
+		{"tegserve_cache_disk_hits_total", "Cache hits answered by the disk store tier.", "counter", st.DiskHits},
+		{"tegserve_store_objects", "Payloads resident in the disk store.", "gauge", st.StoreObjects},
+		{"tegserve_store_bytes", "Resident disk-store payload bytes.", "gauge", st.StoreBytes},
+		{"tegserve_store_puts_total", "Payloads written to the disk store.", "counter", st.StorePuts},
+		{"tegserve_store_evictions_total", "Disk-store objects evicted past the byte budget.", "counter", st.StoreEvictions},
+		{"tegserve_shards_dispatched_total", "Shards posted to worker peers (coordinator mode).", "counter", st.ShardsDispatched},
+		{"tegserve_shard_retries_total", "Failed shards recomputed locally.", "counter", st.ShardRetries},
+		{"tegserve_shards_served_total", "Shard requests accepted from a coordinator.", "counter", st.ShardsServed},
 		{"tegserve_ticks_total", "Control periods simulated across all jobs.", "counter", st.Ticks},
 		{"tegserve_ticks_per_second", "Lifetime mean simulated control periods per wall-clock second.", "gauge", st.TicksPerSecond},
 		{"tegserve_twin_sessions", "Digital-twin sessions currently open.", "gauge", st.TwinSessions},

@@ -54,6 +54,7 @@ import (
 	"tegrecon/internal/obs"
 	"tegrecon/internal/report"
 	"tegrecon/internal/sim"
+	"tegrecon/internal/store"
 )
 
 // Config bounds the server's resources. Zero values pick sane
@@ -113,6 +114,22 @@ type Config struct {
 	// discard; an embedded server opts into output, never has to
 	// silence it).
 	Logger *slog.Logger
+	// Store, when non-nil, backs the in-memory result cache with a
+	// disk tier (internal/store): gets fall through to it before
+	// computing, puts write through, so results survive restarts and
+	// are shared by every process opened on the same directory. The
+	// caller opens it (cmd/tegserve wires -store-dir) so New keeps its
+	// error-free signature.
+	Store *store.Store
+	// WorkerPeers lists peer tegserve base URLs (e.g.
+	// "http://10.0.0.2:8080"). When non-empty this server becomes a
+	// coordinator: /v1/sweeps and /v1/matrix split their job lists into
+	// contiguous shards, fan them out to the peers over POST /v1/shards,
+	// and merge the bit-identical partial results into the same envelope
+	// a single process would produce; a failed shard is recomputed
+	// locally. Peers must be plain workers (no WorkerPeers of their own)
+	// with bounds at least as large as the coordinator's.
+	WorkerPeers []string
 	// PhaseSampleEvery sets sim.Options.PhaseSampleEvery on runs and
 	// fresh twin sessions: every N-th control period the four tick
 	// phases are wall-clock-timed into the service-wide aggregate
@@ -192,6 +209,7 @@ type Server struct {
 	drainCh  chan struct{}
 	sessions *sessionRegistry
 	matrices *matrixRegistry
+	peers    *http.Client // shard dispatch client (coordinator mode)
 }
 
 // New builds a server with the given bounds.
@@ -201,18 +219,20 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		log:      cfg.Logger,
 		q:        newQueue(cfg.MaxConcurrent, cfg.MaxQueued),
-		cache:    newCache(cfg.CacheEntries, cfg.CacheBytes),
+		cache:    newCache(cfg.CacheEntries, cfg.CacheBytes, cfg.Store),
 		met:      newMetrics(),
 		mux:      http.NewServeMux(),
 		drainCh:  make(chan struct{}),
 		sessions: newSessionRegistry(cfg.MaxSessions, cfg.SessionIdleTTL),
 		matrices: newMatrixRegistry(cfg.MaxMatrices),
+		peers:    &http.Client{}, // per-shard deadlines come from contexts
 	}
 	s.mux.HandleFunc("GET /v1/cycles", s.handleCycles)
 	s.mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
 	s.mux.HandleFunc("POST /v1/runs", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/matrix", s.handleMatrix)
+	s.mux.HandleFunc("POST /v1/shards", s.handleShards)
 	s.mux.HandleFunc("GET /v1/matrix", s.handleMatrixList)
 	s.mux.HandleFunc("GET /v1/matrix/{key}", s.handleMatrixGet)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
@@ -314,6 +334,44 @@ func (s *Server) jobContext(parent context.Context) (context.Context, context.Ca
 // coalesced followers waiting on the same result.
 func (s *Server) detachedJobContext() (context.Context, context.CancelFunc) {
 	return s.jobContext(context.Background())
+}
+
+// storeLockPoll is how often a cross-process single-flight follower
+// re-probes the store for the leader's payload.
+const storeLockPoll = 100 * time.Millisecond
+
+// computeShared is the flightGroup promoted to cross-process scope:
+// when a disk store is configured, the in-process flight leader first
+// checks whether a peer sharing the store already landed the payload,
+// then claims the key's store-level lock file before computing. A
+// follower process polls the store until the payload appears (or the
+// leader's lock goes stale and it inherits the claim). On success the
+// payload is written through to the store before the lock releases, so
+// waiting peers find it on their next probe. Without a store this is
+// just fn — the in-process flightGroup already holds the key.
+func (s *Server) computeShared(ctx context.Context, key string, fn func() ([]byte, error)) ([]byte, error) {
+	st := s.cfg.Store
+	if st == nil {
+		return fn()
+	}
+	for {
+		if b, ok := st.Get(key); ok {
+			return b, nil
+		}
+		if release, ok := st.TryLock(key); ok {
+			b, err := fn()
+			if err == nil {
+				st.Put(key, b)
+			}
+			release()
+			return b, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(storeLockPoll):
+		}
+	}
 }
 
 // --- response helpers ---
@@ -543,7 +601,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		ctx, cancel := s.detachedJobContext()
 		defer cancel()
-		b, err := s.runPayload(ctx, p)
+		b, err := s.computeShared(ctx, key, func() ([]byte, error) {
+			return s.runPayload(ctx, p)
+		})
 		if err == nil {
 			s.cache.put(key, b)
 		}
@@ -693,6 +753,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.sweeps.Add(1)
+	s.serveSweepCached(w, r, p, true)
+}
+
+// serveSweepCached is the cache → flight → compute path shared by
+// /v1/sweeps and the /v1/shards sweep leg. Only the client-facing
+// entrypoint may distribute: a shard request computes locally
+// regardless of WorkerPeers, so a misconfigured coordinator-as-peer
+// cannot recurse the fan-out.
+func (s *Server) serveSweepCached(w http.ResponseWriter, r *http.Request, p sweepParams, distribute bool) {
 	key := sweepKey(p)
 	w.Header().Set("X-Cache-Key", key)
 	if payload, ok := s.cache.get(key); ok {
@@ -708,7 +777,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		ctx, cancel := s.detachedJobContext()
 		defer cancel()
-		b, err := s.sweepPayload(ctx, p)
+		b, err := s.computeShared(ctx, key, func() ([]byte, error) {
+			if distribute && len(s.cfg.WorkerPeers) > 0 {
+				return s.distributedSweep(ctx, p)
+			}
+			return s.sweepPayload(ctx, p)
+		})
 		if err == nil {
 			s.cache.put(key, b)
 		}

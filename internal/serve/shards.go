@@ -1,0 +1,373 @@
+// POST /v1/shards: the internal worker protocol behind coordinator
+// mode. A coordinator (a server configured with WorkerPeers) splits a
+// sweep's cycle list or a matrix's missing-cell list into contiguous
+// shards (scenario.PlanShards), posts each to a peer, and merges the
+// partial results into the same envelope a single process would have
+// produced. The merge is sound by construction: every cell's seed
+// derives from its coordinate and every sweep job from the shared
+// request seed, so a shard computes bit-identical values wherever it
+// runs — distribution changes who simulates, never what. A peer that
+// fails mid-shard (crash, network, 5xx) is not retried remotely: the
+// coordinator recomputes that shard locally, trading latency for the
+// guarantee that one dead worker can never change or lose a result.
+//
+// Workers never re-fan-out: the shard handler always computes locally,
+// so a misconfigured ring of coordinators degrades into local
+// computation instead of recursing.
+
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"tegrecon/internal/experiments"
+	"tegrecon/internal/report"
+	"tegrecon/internal/scenario"
+)
+
+// ShardRequest is the POST /v1/shards body. Exactly one of the two
+// legs is populated, selected by Kind.
+type ShardRequest struct {
+	// Kind is "matrix" or "sweep".
+	Kind string `json:"kind"`
+	// Matrix is the full normalized spec (kind "matrix"). The worker
+	// re-expands it — expansion is deterministic, so coordinator and
+	// worker agree on every cell index — and simulates only Cells.
+	Matrix *scenario.Matrix `json:"matrix,omitempty"`
+	// Cells are indices into the full expansion's stable cell order.
+	Cells []int `json:"cells,omitempty"`
+	// Sweep is the sub-sweep to run (kind "sweep"): the coordinator's
+	// normalized request narrowed to this shard's cycles. Every sweep
+	// job is seeded from the request alone, so a cycle subset computes
+	// the same rows the full sweep would.
+	Sweep *SweepRequest `json:"sweep,omitempty"`
+}
+
+// shardMatrixResponse carries a matrix shard's cells back. Cell Index
+// values are positions in the full expansion (Subset preserves them),
+// which is all the coordinator needs to merge.
+type shardMatrixResponse struct {
+	Cells []experiments.MatrixCell `json:"cells"`
+}
+
+// --- worker side ---
+
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	var req ShardRequest
+	if herr := decodeJSON(w, r, &req); herr != nil {
+		s.writeHTTPError(w, herr)
+		return
+	}
+	if s.Draining() {
+		s.writeJSONError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	s.met.shardsServed.Add(1)
+	switch req.Kind {
+	case "matrix":
+		s.handleMatrixShard(w, r, req)
+	case "sweep":
+		s.handleSweepShard(w, r, req)
+	default:
+		s.writeJSONError(w, http.StatusBadRequest, "shard kind must be \"matrix\" or \"sweep\"")
+	}
+}
+
+func (s *Server) handleMatrixShard(w http.ResponseWriter, r *http.Request, req ShardRequest) {
+	if req.Matrix == nil || len(req.Cells) == 0 {
+		s.writeJSONError(w, http.StatusBadRequest, "matrix shard needs a spec and a non-empty cell list")
+		return
+	}
+	// The worker enforces its own admission bounds on the full spec —
+	// a worker behind a bigger coordinator sheds the shard as a 400,
+	// which the coordinator absorbs by computing locally.
+	p, herr := s.normalizeMatrix(MatrixRequest{Matrix: *req.Matrix})
+	if herr != nil {
+		s.writeHTTPError(w, herr)
+		return
+	}
+	key, err := matrixKey(p.m)
+	if err != nil {
+		s.writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	ex, _, err := s.expandMatrix(p, key)
+	if err != nil {
+		s.writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sub, err := ex.Subset(req.Cells)
+	if err != nil {
+		s.writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	keys := make([]string, len(sub.Cells))
+	for i, c := range sub.Cells {
+		keys[i] = cellKey(p, c)
+	}
+	// The shard runs under the coordinator's request context: if the
+	// coordinator gives up (or this worker drains), the simulation
+	// aborts at its next per-tick check.
+	ctx, cancel := s.jobContext(r.Context())
+	defer cancel()
+	if err := s.q.acquire(ctx); err != nil {
+		s.writeJobError(w, r, err)
+		return
+	}
+	defer s.q.release()
+	s.met.computations.Add(1)
+	started := time.Now()
+	defer func() { s.met.observeJob(time.Since(started)) }()
+	cells, _, err := s.computeMatrix(ctx, sub, keys, nil, false)
+	if err != nil {
+		s.writeJobError(w, r, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(shardMatrixResponse{Cells: cells})
+}
+
+func (s *Server) handleSweepShard(w http.ResponseWriter, r *http.Request, req ShardRequest) {
+	if req.Sweep == nil {
+		s.writeJSONError(w, http.StatusBadRequest, "sweep shard needs a sweep request")
+		return
+	}
+	p, herr := s.normalizeSweep(*req.Sweep)
+	if herr != nil {
+		s.writeHTTPError(w, herr)
+		return
+	}
+	// distribute=false: a shard computes here, never fans out again.
+	s.serveSweepCached(w, r, p, false)
+}
+
+// --- coordinator side ---
+
+// postShard posts one shard to a peer and returns the response body.
+// Any transport error, non-200 status, or truncated body counts as a
+// failed shard — the caller recomputes locally.
+func (s *Server) postShard(ctx context.Context, peer string, shard ShardRequest) ([]byte, error) {
+	body, err := json.Marshal(shard)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/v1/shards", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	s.met.shardsDispatched.Add(1)
+	resp, err := s.peers.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("peer %s: %s: %s", peer, resp.Status, truncate(b, 200))
+	}
+	return b, nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		b = b[:n]
+	}
+	return string(bytes.TrimSpace(b))
+}
+
+// distributeMatrixCells computes the missing cells (indices into
+// ex.Cells) across the worker peers and returns them in missing order,
+// every cell validated against the coordinate it was asked for. A
+// failed shard — dead peer, bad response, index mismatch — is
+// recomputed locally; only a local failure (shutdown, bad spec)
+// surfaces as an error.
+func (s *Server) distributeMatrixCells(ctx context.Context, ex *scenario.Expansion, missing []int) ([]experiments.MatrixCell, error) {
+	peers := s.cfg.WorkerPeers
+	shards := scenario.PlanShards(len(missing), len(peers))
+	results := make([][]experiments.MatrixCell, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for si, rng := range shards {
+		wg.Add(1)
+		go func(si int, idxs []int) {
+			defer wg.Done()
+			peer := peers[si%len(peers)]
+			cells, err := s.dispatchMatrixShard(ctx, peer, ex, idxs)
+			if err != nil {
+				s.met.shardRetries.Add(1)
+				s.log.Warn("matrix shard failed, recomputing locally",
+					"peer", peer, "cells", len(idxs), "error", err)
+				cells, err = s.localMatrixShard(ctx, ex, idxs)
+			}
+			results[si], errs[si] = cells, err
+		}(si, missing[rng[0]:rng[1]])
+	}
+	wg.Wait()
+	out := make([]experiments.MatrixCell, 0, len(missing))
+	for si := range shards {
+		if errs[si] != nil {
+			return nil, errs[si]
+		}
+		out = append(out, results[si]...)
+	}
+	return out, nil
+}
+
+// dispatchMatrixShard runs one cell-index shard on a peer and
+// validates the response cell-by-cell: the peer expanded the same
+// normalized spec, so indices and coordinates must line up exactly —
+// anything else means a version-skewed or confused peer, and the shard
+// is treated as failed rather than merged.
+func (s *Server) dispatchMatrixShard(ctx context.Context, peer string, ex *scenario.Expansion, idxs []int) ([]experiments.MatrixCell, error) {
+	b, err := s.postShard(ctx, peer, ShardRequest{Kind: "matrix", Matrix: ex.Matrix, Cells: idxs})
+	if err != nil {
+		return nil, err
+	}
+	var resp shardMatrixResponse
+	if err := json.Unmarshal(b, &resp); err != nil {
+		return nil, fmt.Errorf("peer %s: decoding shard response: %w", peer, err)
+	}
+	if len(resp.Cells) != len(idxs) {
+		return nil, fmt.Errorf("peer %s: %d cells for a %d-cell shard", peer, len(resp.Cells), len(idxs))
+	}
+	for k, c := range resp.Cells {
+		want := ex.Cells[idxs[k]]
+		if c.Index != want.Index || c.Coord != want.Coord {
+			return nil, fmt.Errorf("peer %s: cell %d is %q (index %d), want %q (index %d)",
+				peer, k, c.Coord, c.Index, want.Coord, want.Index)
+		}
+	}
+	return resp.Cells, nil
+}
+
+// localMatrixShard is the retry path: the same Subset the peer would
+// have run, on this process's batch pool.
+func (s *Server) localMatrixShard(ctx context.Context, ex *scenario.Expansion, idxs []int) ([]experiments.MatrixCell, error) {
+	sub, err := ex.Subset(idxs)
+	if err != nil {
+		return nil, err
+	}
+	res, err := experiments.RunExpansionContext(ctx, sub, experiments.MatrixOptions{
+		Workers: s.cfg.Workers,
+		OnTick:  s.matrixTicksObserver(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Cells, nil
+}
+
+// distributedSweep fans the sweep's cycles out to the worker peers and
+// merges the per-shard tables back into the envelope a single process
+// would produce. Shards are contiguous cycle ranges in request order,
+// so concatenating the returned rows in shard order reproduces the
+// serial row order; every job's seed comes from the request, so the
+// row contents are bit-identical wherever they ran. The coordinator
+// holds no queue slot while peers work — only a local retry claims
+// one, inside sweepPayload.
+func (s *Server) distributedSweep(ctx context.Context, p sweepParams) ([]byte, error) {
+	peers := s.cfg.WorkerPeers
+	shards := scenario.PlanShards(len(p.cycles), len(peers))
+	parts := make([]*report.Table, len(shards))
+	errs := make([]error, len(shards))
+	started := time.Now()
+	defer func() { s.met.observeJob(time.Since(started)) }()
+	var wg sync.WaitGroup
+	for si, rng := range shards {
+		wg.Add(1)
+		go func(si int, sub sweepParams) {
+			defer wg.Done()
+			peer := peers[si%len(peers)]
+			tab, err := s.dispatchSweepShard(ctx, peer, sub)
+			if err != nil {
+				s.met.shardRetries.Add(1)
+				s.log.Warn("sweep shard failed, recomputing locally",
+					"peer", peer, "cycles", len(sub.cycles), "error", err)
+				var payload []byte
+				if payload, err = s.sweepPayload(ctx, sub); err == nil {
+					tab, err = sweepTableOf(payload)
+				}
+			}
+			parts[si], errs[si] = tab, err
+		}(si, p.subset(rng[0], rng[1]))
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged, err := report.MergeTables(parts)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(sweepEnvelope{Version: report.ResultVersion, Table: merged})
+}
+
+// subset narrows the normalized sweep to a contiguous cycle range.
+func (p sweepParams) subset(lo, hi int) sweepParams {
+	sub := p
+	sub.cycles = p.cycles[lo:hi]
+	return sub
+}
+
+// shardSweepRequest re-encodes a normalized sub-sweep as the request
+// the worker will normalize again — canonical registry names and
+// explicit values throughout, so both sides agree on every default.
+func shardSweepRequest(p sweepParams) SweepRequest {
+	names := make([]string, len(p.cycles))
+	for i, c := range p.cycles {
+		names[i] = c.Name
+	}
+	seed, noise := p.seed, p.noiseC
+	return SweepRequest{
+		Cycles:       names,
+		Schemes:      p.schemes,
+		MaxDurationS: p.maxDurationS,
+		TickS:        p.tickS,
+		Seed:         &seed,
+		SensorNoiseC: &noise,
+		Modules:      p.modules,
+		HorizonTicks: p.horizon,
+	}
+}
+
+func (s *Server) dispatchSweepShard(ctx context.Context, peer string, sub sweepParams) (*report.Table, error) {
+	b, err := s.postShard(ctx, peer, ShardRequest{Kind: "sweep", Sweep: ptr(shardSweepRequest(sub))})
+	if err != nil {
+		return nil, err
+	}
+	tab, err := sweepTableOf(b)
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: %w", peer, err)
+	}
+	return tab, nil
+}
+
+// sweepTableOf decodes a sweep envelope back to its table — the merge
+// currency. The decoded strings are the exact bytes the worker
+// rendered, so re-marshaling the merged table stays bit-identical to a
+// single-process render.
+func sweepTableOf(payload []byte) (*report.Table, error) {
+	var env sweepEnvelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		return nil, fmt.Errorf("decoding sweep envelope: %w", err)
+	}
+	if env.Version != report.ResultVersion || env.Table == nil {
+		return nil, fmt.Errorf("sweep envelope version %d without a table (want version %d)", env.Version, report.ResultVersion)
+	}
+	return env.Table, nil
+}
+
+func ptr[T any](v T) *T { return &v }

@@ -1,0 +1,359 @@
+// Package store is the disk-backed content-addressed payload store
+// behind the serve layer's in-memory result cache: completed response
+// payloads keyed by their canonical SHA-256 request hash, durable
+// across process restarts. Because every stored payload is the exact
+// bytes of a bit-deterministic computation, the store never needs
+// invalidation — a key either holds the one true payload or nothing —
+// which is what makes a shared directory safe for a whole fleet of
+// tegserve processes: writers race benignly (same key ⇒ same bytes)
+// and readers can trust whatever they find.
+//
+// Layout under the root directory:
+//
+//	objects/<key[:2]>/<key>   payload files (write-temp-then-rename, fsync'd)
+//	locks/<key>.lock          cross-process single-flight claims
+//
+// Writes are atomic: the payload lands in a temp file in the final
+// directory, is fsync'd, renamed over the final name, and the
+// directory is fsync'd — a crash leaves either the complete payload or
+// a stale temp file (swept at Open), never a torn object. The store is
+// size-bounded: when resident bytes exceed the budget, objects are
+// evicted least-recently-used first, with "use" tracked through each
+// file's mtime (bumped on Get — filesystem atime is unreliable under
+// noatime mounts, so the store keeps its own).
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOversize reports a payload larger than the store's whole byte
+// budget: storing it would evict everything else only to be evicted
+// itself next, so it is refused outright.
+var ErrOversize = errors.New("store: payload exceeds the store's byte budget")
+
+// ErrBadKey reports a key that is not a canonical content hash. Keys
+// become file names, so anything but lowercase hex is refused before
+// it can traverse the filesystem.
+var ErrBadKey = errors.New("store: key is not a lowercase hex digest")
+
+// DefaultStaleLockAfter is how old a lock file must be before another
+// process may break it: long enough for the biggest admissible
+// computation, short enough that a crashed leader does not wedge a key
+// forever.
+const DefaultStaleLockAfter = 5 * time.Minute
+
+// Store is one process's handle on the shared directory. All methods
+// are safe for concurrent use; several processes may share one
+// directory.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	// StaleLockAfter overrides the lock-breaking age; zero means
+	// DefaultStaleLockAfter. Set before the store is shared.
+	StaleLockAfter time.Duration
+
+	mu      sync.Mutex // serializes Put admission and eviction sweeps
+	bytes   int64      // resident payload bytes (this process's view)
+	objects int64      // resident object count (this process's view)
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	puts      atomic.Int64
+	evictions atomic.Int64
+}
+
+// Stats is a point-in-time snapshot for metrics exposition. Bytes and
+// Objects are this process's view of the shared directory; peers
+// writing concurrently drift it until the next eviction sweep rescans.
+type Stats struct {
+	Bytes     int64
+	Objects   int64
+	Hits      int64
+	Misses    int64
+	Puts      int64
+	Evictions int64
+}
+
+// Open creates (or reopens) the store rooted at dir, bounded to
+// maxBytes of resident payload (0 → 1 GiB). Stale temp files from a
+// crashed writer are swept, and the resident size is rescanned so the
+// byte accounting starts truthful.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if maxBytes <= 0 {
+		maxBytes = 1 << 30
+	}
+	s := &Store{dir: dir, maxBytes: maxBytes}
+	for _, d := range []string{s.objectsDir(), s.locksDir()} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	bytes, objects, _, err := s.scan(true)
+	if err != nil {
+		return nil, err
+	}
+	s.bytes, s.objects = bytes, objects
+	return s, nil
+}
+
+func (s *Store) objectsDir() string { return filepath.Join(s.dir, "objects") }
+func (s *Store) locksDir() string   { return filepath.Join(s.dir, "locks") }
+
+// validKey admits canonical content hashes only: lowercase hex, long
+// enough to be a digest, short enough to be a file name.
+func validKey(key string) bool {
+	if len(key) < 16 || len(key) > 128 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) objectPath(key string) string {
+	return filepath.Join(s.objectsDir(), key[:2], key)
+}
+
+// Get returns the payload stored under key and marks it recently used.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	b, err := os.ReadFile(s.objectPath(key))
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	// LRU bookkeeping: mtime is the store's recency clock. Best-effort —
+	// a peer evicting this very file concurrently is harmless.
+	now := time.Now()
+	os.Chtimes(s.objectPath(key), now, now)
+	return b, true
+}
+
+// Has reports whether key is resident without touching recency or the
+// hit/miss accounting — the status-probe analogue of cache.peek.
+func (s *Store) Has(key string) bool {
+	if !validKey(key) {
+		return false
+	}
+	_, err := os.Stat(s.objectPath(key))
+	return err == nil
+}
+
+// Put stores the payload under key atomically, then evicts
+// least-recently-used objects while the store is over budget. Storing
+// a key that is already resident is a no-op — payloads are
+// content-addressed, so same key means same bytes and the disk write
+// can be skipped.
+func (s *Store) Put(key string, payload []byte) error {
+	if !validKey(key) {
+		return ErrBadKey
+	}
+	if int64(len(payload)) > s.maxBytes {
+		return ErrOversize
+	}
+	final := s.objectPath(key)
+	if _, err := os.Stat(final); err == nil {
+		return nil
+	}
+	dir := filepath.Dir(final)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// Write-temp-then-rename: the temp name carries the pid so two
+	// processes landing the same key never collide mid-write, and a
+	// crash leaves only a sweepable ".tmp-" file.
+	tmp, err := os.CreateTemp(dir, ".tmp-"+strconv.Itoa(os.Getpid())+"-")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // the published object is a second link
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// Publish with link rather than rename: link fails with EEXIST when
+	// a racing writer landed the same key first, so exactly one writer
+	// counts the object (same key ⇒ same bytes, losing is free).
+	if err := os.Link(tmp.Name(), final); err != nil {
+		if errors.Is(err, fs.ErrExist) {
+			return nil
+		}
+		return fmt.Errorf("store: %w", err)
+	}
+	syncDir(dir)
+	s.puts.Add(1)
+
+	s.mu.Lock()
+	s.bytes += int64(len(payload))
+	s.objects++
+	over := s.bytes > s.maxBytes
+	s.mu.Unlock()
+	if over {
+		return s.evict()
+	}
+	return nil
+}
+
+// evict rescans the object tree (the authoritative cross-process view)
+// and removes least-recently-used objects until resident bytes fit the
+// budget again.
+func (s *Store) evict() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bytes, objects, files, err := s.scan(false)
+	if err != nil {
+		return err
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	for _, f := range files {
+		if bytes <= s.maxBytes {
+			break
+		}
+		if err := os.Remove(f.path); err == nil || errors.Is(err, fs.ErrNotExist) {
+			bytes -= f.size
+			objects--
+			s.evictions.Add(1)
+		}
+	}
+	s.bytes, s.objects = bytes, objects
+	return nil
+}
+
+type objectFile struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// scan walks the object tree, optionally sweeping stale temp files,
+// and returns resident bytes, object count, and (for eviction) the
+// file list.
+func (s *Store) scan(sweepTemp bool) (int64, int64, []objectFile, error) {
+	var bytes, objects int64
+	var files []objectFile
+	err := filepath.WalkDir(s.objectsDir(), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			// A concurrently evicted entry is not an error.
+			return nil
+		}
+		if strings.HasPrefix(d.Name(), ".tmp-") {
+			if sweepTemp {
+				os.Remove(path)
+			}
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		bytes += info.Size()
+		objects++
+		files = append(files, objectFile{path: path, size: info.Size(), mtime: info.ModTime()})
+		return nil
+	})
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("store: %w", err)
+	}
+	return bytes, objects, files, nil
+}
+
+// TryLock attempts to claim the cross-process single-flight lock for
+// key. On success it returns a release function and true; when another
+// process holds the claim it returns false. A lock whose file is older
+// than StaleLockAfter is presumed orphaned by a crashed leader and
+// broken.
+func (s *Store) TryLock(key string) (func(), bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	path := filepath.Join(s.locksDir(), key+".lock")
+	for attempt := 0; attempt < 2; attempt++ {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			f.WriteString(strconv.Itoa(os.Getpid()) + "\n")
+			f.Close()
+			return func() { os.Remove(path) }, true
+		}
+		stale := s.StaleLockAfter
+		if stale <= 0 {
+			stale = DefaultStaleLockAfter
+		}
+		info, serr := os.Stat(path)
+		if serr != nil {
+			continue // holder released between OpenFile and Stat: retry
+		}
+		if time.Since(info.ModTime()) < stale {
+			return nil, false
+		}
+		// Orphaned claim: break it and retry the create once.
+		os.Remove(path)
+	}
+	return nil, false
+}
+
+// Len reports this process's view of the resident object count.
+func (s *Store) Len() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.objects
+}
+
+// Bytes reports this process's view of resident payload bytes.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Snapshot returns the counters for metrics exposition.
+func (s *Store) Snapshot() Stats {
+	s.mu.Lock()
+	bytes, objects := s.bytes, s.objects
+	s.mu.Unlock()
+	return Stats{
+		Bytes:     bytes,
+		Objects:   objects,
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Puts:      s.puts.Load(),
+		Evictions: s.evictions.Load(),
+	}
+}
+
+// syncDir fsyncs a directory so a rename into it is durable. Best
+// effort: some filesystems refuse directory fsync, and losing the
+// rename on power failure only costs a recomputation.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -1,0 +1,273 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testKey(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("payload-a")
+	payload := []byte(`{"version":1,"energy_j":42}`)
+
+	if _, ok := s.Get(key); ok {
+		t.Fatal("Get on an empty store returned a payload")
+	}
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want the stored payload", got, ok)
+	}
+	if !s.Has(key) {
+		t.Fatal("Has = false for a resident key")
+	}
+	if s.Len() != 1 || s.Bytes() != int64(len(payload)) {
+		t.Fatalf("Len, Bytes = %d, %d; want 1, %d", s.Len(), s.Bytes(), len(payload))
+	}
+	// Idempotent re-put of a resident key must not double-count.
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 || s.Bytes() != int64(len(payload)) {
+		t.Fatalf("after re-put: Len, Bytes = %d, %d; want unchanged", s.Len(), s.Bytes())
+	}
+}
+
+// A second Open on the same directory must see everything the first
+// process stored — this is the property the cold-restart e2e rides on.
+func TestStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 5)
+	for i := range keys {
+		keys[i] = testKey(fmt.Sprintf("obj-%d", i))
+		if err := s1.Put(keys[i], []byte(strings.Repeat("x", 100+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 5 {
+		t.Fatalf("reopened store sees %d objects, want 5", s2.Len())
+	}
+	for i, k := range keys {
+		got, ok := s2.Get(k)
+		if !ok || len(got) != 100+i {
+			t.Fatalf("key %d: Get = %d bytes, %v; want %d bytes", i, len(got), ok, 100+i)
+		}
+	}
+}
+
+func TestStoreRejectsOversizeAndBadKeys(t *testing.T) {
+	s, err := Open(t.TempDir(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testKey("big"), make([]byte, 101)); !errors.Is(err, ErrOversize) {
+		t.Fatalf("oversize Put err = %v, want ErrOversize", err)
+	}
+	for _, bad := range []string{
+		"",
+		"short",
+		"../../etc/passwd",
+		strings.ToUpper(testKey("case")),
+		testKey("ok")[:63] + "/",
+		strings.Repeat("a", 200),
+	} {
+		if err := s.Put(bad, []byte("x")); !errors.Is(err, ErrBadKey) {
+			t.Fatalf("Put(%q) err = %v, want ErrBadKey", bad, err)
+		}
+		if _, ok := s.Get(bad); ok {
+			t.Fatalf("Get(%q) = ok on an invalid key", bad)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("rejected writes left %d objects resident", s.Len())
+	}
+}
+
+func TestStoreEvictsLRU(t *testing.T) {
+	s, err := Open(t.TempDir(), 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, mid := testKey("old"), testKey("mid")
+	payload := make([]byte, 100)
+	for i, k := range []string{old, mid} {
+		if err := s.Put(k, payload); err != nil {
+			t.Fatal(err)
+		}
+		// mtime is the recency clock; backdate the writes explicitly so
+		// coarse filesystem timestamps cannot tie.
+		mt := time.Now().Add(time.Duration(i-10) * time.Minute)
+		os.Chtimes(s.objectPath(k), mt, mt)
+	}
+	// Touch "old" so "mid" becomes the least recently used.
+	if _, ok := s.Get(old); !ok {
+		t.Fatal("old payload missing before eviction")
+	}
+
+	// Third put overflows the 250-byte budget and must evict "mid".
+	if err := s.Put(testKey("new"), payload); err != nil {
+		t.Fatal(err)
+	}
+	if s.Bytes() > 250 {
+		t.Fatalf("store over budget after eviction: %d bytes", s.Bytes())
+	}
+	if s.Has(mid) {
+		t.Fatal("least-recently-used object survived eviction")
+	}
+	for _, k := range []string{old, testKey("new")} {
+		if !s.Has(k) {
+			t.Fatalf("recently used object %s was evicted", k[:8])
+		}
+	}
+	if s.Snapshot().Evictions == 0 {
+		t.Fatal("eviction counter did not advance")
+	}
+}
+
+// Put must be atomic: a crashed writer's temp file is invisible to Get
+// and swept on the next Open.
+func TestStoreSweepsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("real")
+	if err := s1.Put(key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write: a torn temp file next to the object.
+	torn := filepath.Join(dir, "objects", key[:2], ".tmp-9999-abc")
+	if err := os.WriteFile(torn, []byte("tor"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(torn); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("stale temp file survived Open")
+	}
+	if s2.Len() != 1 || !s2.Has(key) {
+		t.Fatalf("reopen sees %d objects, want just the real payload", s2.Len())
+	}
+}
+
+func TestStoreTryLock(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("flight")
+
+	release, ok := s.TryLock(key)
+	if !ok {
+		t.Fatal("first TryLock refused")
+	}
+	// A second claimant — same process or (equivalently) a peer sharing
+	// the directory — must be refused while the lock is held.
+	peer, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := peer.TryLock(key); ok {
+		t.Fatal("second TryLock succeeded while the lock is held")
+	}
+	release()
+	r2, ok := peer.TryLock(key)
+	if !ok {
+		t.Fatal("TryLock refused after release")
+	}
+	r2()
+
+	if _, ok := s.TryLock("not a key"); ok {
+		t.Fatal("TryLock accepted an invalid key")
+	}
+}
+
+func TestStoreBreaksStaleLock(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StaleLockAfter = 50 * time.Millisecond
+	key := testKey("orphan")
+	if _, ok := s.TryLock(key); !ok {
+		t.Fatal("first TryLock refused")
+	}
+	// The leader "crashes" without releasing; age the lock past the
+	// stale threshold.
+	lock := filepath.Join(dir, "locks", key+".lock")
+	old := time.Now().Add(-time.Minute)
+	if err := os.Chtimes(lock, old, old); err != nil {
+		t.Fatal(err)
+	}
+	release, ok := s.TryLock(key)
+	if !ok {
+		t.Fatal("stale lock was not broken")
+	}
+	release()
+}
+
+func TestStoreConcurrentPutGet(t *testing.T) {
+	s, err := Open(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				// Heavy key overlap across goroutines: same-key writers
+				// must race benignly.
+				key := testKey(fmt.Sprintf("obj-%d", i%10))
+				want := []byte(strings.Repeat("p", 64) + fmt.Sprint(i%10))
+				if err := s.Put(key, want); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok := s.Get(key); !ok || !bytes.Equal(got, want) {
+					t.Errorf("concurrent Get = %q, %v", got, ok)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d after concurrent writes of 10 distinct keys", s.Len())
+	}
+}

@@ -7,32 +7,48 @@
 # checkpoint -> kill -> restart -> restore -> step must land on the
 # same summary an uninterrupted twin reaches.
 #
+# Then the distributed tier: a coordinator sharding a scenario matrix
+# across two worker processes must produce bytes identical to a single
+# process, keep doing so after a worker is killed -9 mid-sweep (local
+# shard retry), and a sweep computed into a -store-dir must survive a
+# SIGTERM restart as a disk hit with zero recomputation.
+#
 # Run from the repo root: ./scripts/serve_smoke.sh
 set -euo pipefail
 
 workdir=$(mktemp -d)
 cleanup() {
   [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
+  for p in "${pids[@]:-}"; do kill -9 "$p" 2>/dev/null || true; done
   rm -rf "$workdir"
 }
+pids=()
 trap cleanup EXIT
 
-# boot <logfile> — start tegserve on a random port and set the $pid
-# and $base globals once the listen line appears. Called directly (not
-# in a command substitution) so the globals survive. JSON logs so the
-# access-log assertions can grep structured fields.
+# boot <logfile> [flags...] — start tegserve on a random port (extra
+# flags passed through) and set the $pid and $base globals once the
+# listen line appears. Called directly (not in a command substitution)
+# so the globals survive. JSON logs so the access-log assertions can
+# grep structured fields.
 boot() {
-  "$workdir/tegserve" -addr 127.0.0.1:0 -log-format json >"$1" 2>&1 &
+  local log=$1; shift
+  "$workdir/tegserve" -addr 127.0.0.1:0 -log-format json "$@" >"$log" 2>&1 &
   pid=$!
+  pids+=("$pid")
   local addr=""
   for _ in $(seq 1 100); do
-    addr=$(sed -n 's/.*"msg":"listening".*"addr":"\([^"]*\)".*/\1/p' "$1" | head -n1)
+    addr=$(sed -n 's/.*"msg":"listening".*"addr":"\([^"]*\)".*/\1/p' "$log" | head -n1)
     [ -n "$addr" ] && break
-    kill -0 "$pid" 2>/dev/null || { echo "tegserve died:" >&2; cat "$1" >&2; exit 1; }
+    kill -0 "$pid" 2>/dev/null || { echo "tegserve died:" >&2; cat "$log" >&2; exit 1; }
     sleep 0.1
   done
-  [ -n "$addr" ] || { echo "never saw listen line:" >&2; cat "$1" >&2; exit 1; }
+  [ -n "$addr" ] || { echo "never saw listen line:" >&2; cat "$log" >&2; exit 1; }
   base="http://$addr"
+}
+
+# metric <base> <name> — read one gauge/counter value off /metrics.
+metric() {
+  curl -fsS "$1/metrics" | sed -n "s/^$2 //p"
 }
 
 # strip_volatile — drop the fields that legitimately differ between a
@@ -132,5 +148,76 @@ echo "   restored twin replayed to step 60: summary identical"
 kill -TERM "$pid"
 wait "$pid" || { echo "second tegserve exited nonzero"; cat "$workdir/serve2.log"; exit 1; }
 pid=""
+
+echo "== distributed tier: coordinator + two workers"
+matrix='{"cycles":[{"synth":{"profile":"urban","seed":9,"duration_s":6}}],"schemes":["INOR","DNOR"],"ambients":[{"ambient_c":15},{"ambient_c":25},{"ambient_c":35}],"array_sizes":[20],"max_duration_s":6}'
+boot "$workdir/worker1.log"; w1_pid=$pid; w1_base=$base
+boot "$workdir/worker2.log"; w2_pid=$pid; w2_base=$base
+boot "$workdir/coord.log" -worker-peers "$w1_base,$w2_base"
+coord_pid=$pid; coord_base=$base
+pid=""
+echo "   workers $w1_base $w2_base, coordinator $coord_base"
+
+curl -fsS -H 'Content-Type: application/json' -d "$matrix" \
+  "$coord_base/v1/matrix" -o "$workdir/sharded.json"
+dispatched=$(metric "$coord_base" tegserve_shards_dispatched_total)
+[ "${dispatched:-0}" -ge 2 ] || { echo "coordinator dispatched $dispatched shards, want >= 2"; exit 1; }
+coord_ticks=$(metric "$coord_base" tegserve_ticks_total)
+[ "$coord_ticks" = "0" ] || { echo "coordinator simulated $coord_ticks ticks itself"; exit 1; }
+
+boot "$workdir/single.log"; single_pid=$pid; single_base=$base; pid=""
+curl -fsS -H 'Content-Type: application/json' -d "$matrix" \
+  "$single_base/v1/matrix" -o "$workdir/single.json"
+cmp "$workdir/sharded.json" "$workdir/single.json" \
+  || { echo "sharded matrix differs from the single-process bytes"; exit 1; }
+echo "   $dispatched shards across 2 workers: bytes identical to a single process"
+
+echo "== kill one worker -9: coordinator retries the shard locally"
+kill -9 "$w2_pid"
+wait "$w2_pid" 2>/dev/null || true
+matrix2='{"cycles":[{"synth":{"profile":"urban","seed":9,"duration_s":6}}],"schemes":["INOR","DNOR"],"ambients":[{"ambient_c":10},{"ambient_c":20}],"array_sizes":[20],"max_duration_s":60}'
+# The surviving worker is killed -9 a beat later, while its shard is
+# (plausibly) still in flight; the dead-peer shard guarantees at least
+# one local retry either way, and the bytes must not change.
+( sleep 0.1; kill -9 "$w1_pid" ) &
+killer=$!
+curl -fsS -H 'Content-Type: application/json' -d "$matrix2" \
+  "$coord_base/v1/matrix" -o "$workdir/sharded2.json"
+wait "$killer"
+wait "$w1_pid" 2>/dev/null || true
+retries=$(metric "$coord_base" tegserve_shard_retries_total)
+[ "${retries:-0}" -ge 1 ] || { echo "no local shard retries after killing a worker"; exit 1; }
+curl -fsS -H 'Content-Type: application/json' -d "$matrix2" \
+  "$single_base/v1/matrix" -o "$workdir/single2.json"
+cmp "$workdir/sharded2.json" "$workdir/single2.json" \
+  || { echo "post-kill sharded matrix differs from the single-process bytes"; exit 1; }
+echo "   $retries shard(s) recomputed locally: bytes still identical"
+kill -TERM "$coord_pid" "$single_pid" 2>/dev/null || true
+wait "$coord_pid" "$single_pid" 2>/dev/null || true
+
+echo "== persistent store: sweep survives a cold restart"
+sweep='{"cycles":["delivery","nedc"],"schemes":["inor","dnor"],"max_duration_s":10,"modules":40}'
+boot "$workdir/store1.log" -store-dir "$workdir/store"
+store_pid=$pid
+state=$(curl -fsS -D - -H 'Content-Type: application/json' -d "$sweep" \
+  "$base/v1/sweeps" -o "$workdir/sweep1.json" | tr -d '\r' | sed -n 's/^X-Cache: //p')
+[ "$state" = "miss" ] || { echo "first store sweep was '$state', want miss"; exit 1; }
+kill -TERM "$store_pid"
+wait "$store_pid" || { echo "store tegserve exited nonzero"; cat "$workdir/store1.log"; exit 1; }
+
+boot "$workdir/store2.log" -store-dir "$workdir/store"
+store_pid=$pid; pid=""
+state=$(curl -fsS -D - -H 'Content-Type: application/json' -d "$sweep" \
+  "$base/v1/sweeps" -o "$workdir/sweep2.json" | tr -d '\r' | sed -n 's/^X-Cache: //p')
+[ "$state" = "hit" ] || { echo "post-restart sweep was '$state', want hit"; exit 1; }
+cmp "$workdir/sweep1.json" "$workdir/sweep2.json" \
+  || { echo "sweep bytes changed across the restart"; exit 1; }
+computed=$(metric "$base" tegserve_computations_total)
+[ "$computed" = "0" ] || { echo "restarted server recomputed $computed jobs, want 0"; exit 1; }
+disk_hits=$(metric "$base" tegserve_cache_disk_hits_total)
+[ "${disk_hits:-0}" -ge 1 ] || { echo "no disk-tier hits after restart"; exit 1; }
+echo "   cold restart served the sweep from disk: byte-identical, zero recomputation"
+kill -TERM "$store_pid" 2>/dev/null || true
+wait "$store_pid" 2>/dev/null || true
 
 echo "== smoke OK"
